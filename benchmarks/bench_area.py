@@ -1,0 +1,23 @@
+"""E7 - Section VI.E: hardware overhead of the security dependence
+matrix and TPBuf via the calibrated analytic 40nm model.
+
+Paper: 64-entry matrix = 0.05 mm^2 (3.5% of a 4-way 32KB cache, +1.4%
+issue timing); TPBuf = 0.00079 mm^2 (0.055%).
+"""
+from conftest import run_once
+
+from repro.core.area_model import area_report
+from repro.experiments import run_area_study
+from repro.experiments.area_study import render_area_study
+
+
+def test_bench_area(benchmark):
+    reports = run_once(benchmark, run_area_study)
+    print()
+    print(render_area_study(reports))
+
+    paper_point = area_report(iq_entries=64, lsq_entries=56)
+    assert abs(paper_point.matrix_mm2 - 0.05) / 0.05 < 0.1
+    assert abs(paper_point.tpbuf_mm2 - 0.00079) / 0.00079 < 0.1
+    assert abs(paper_point.matrix_vs_cache - 0.035) / 0.035 < 0.15
+    assert abs(paper_point.timing_penalty - 0.014) / 0.014 < 0.15

@@ -1,0 +1,29 @@
+"""E5b - statistical attack evaluation: leak accuracy across all
+secret values.
+
+A single PoC shows one value leaking; the sweep shows the channel is a
+real communication channel: on Origin the attacker recovers *every*
+secret (accuracy 100%); under Cache-hit + TPBuf it recovers *none*.
+"""
+from conftest import run_once
+
+from repro import SecurityConfig
+from repro.attacks import build_spectre_v1, sweep_attack
+
+
+def test_bench_attack_sweep(benchmark):
+    def run_sweeps():
+        factory = lambda layout: build_spectre_v1(layout=layout)
+        return (
+            sweep_attack(factory, SecurityConfig.origin()),
+            sweep_attack(factory, SecurityConfig.cache_hit_tpbuf()),
+        )
+
+    origin, defended = run_once(benchmark, run_sweeps)
+    print()
+    print(origin.render())
+    print(defended.render())
+
+    assert origin.accuracy == 1.0
+    assert defended.accuracy == 0.0
+    assert defended.false_leaks == 0

@@ -1,0 +1,50 @@
+"""E5 - Section VI.B prose: every targeted Spectre variant succeeds on
+the unprotected core and is defeated by every Conditional Speculation
+mechanism."""
+import pytest
+from conftest import run_once
+
+from repro import SecurityConfig
+from repro.attacks import (
+    build_spectre_prime,
+    build_spectre_rsb,
+    build_spectre_v1,
+    build_spectre_v2,
+    build_spectre_v4,
+    run_attack,
+)
+
+_VARIANTS = [
+    ("spectre-v1", build_spectre_v1),
+    ("spectre-v2", build_spectre_v2),
+    ("spectre-v4", build_spectre_v4),
+    ("spectre-prime", build_spectre_prime),
+    # Extension beyond the paper: return-stack speculation.
+    ("spectre-rsb", build_spectre_rsb),
+]
+
+_MODES = [
+    ("origin", SecurityConfig.origin(), True),
+    ("baseline", SecurityConfig.baseline(), False),
+    ("cache_hit", SecurityConfig.cache_hit(), False),
+    ("cache_hit_tpbuf", SecurityConfig.cache_hit_tpbuf(), False),
+]
+
+
+@pytest.mark.parametrize("variant,build", _VARIANTS,
+                         ids=[name for name, _ in _VARIANTS])
+def test_bench_attack_matrix(benchmark, variant, build):
+    def run_all():
+        return {
+            mode: run_attack(build(), security=security)
+            for mode, security, _ in _MODES
+        }
+
+    results = run_once(benchmark, run_all)
+    print()
+    for mode, _, expect_leak in _MODES:
+        result = results[mode]
+        print(f"  {variant} under {mode}: "
+              f"{'LEAKED' if result.success else 'blocked'} "
+              f"(gap={result.gap:.0f})")
+        assert result.success == expect_leak, (variant, mode)

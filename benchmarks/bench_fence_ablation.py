@@ -1,0 +1,25 @@
+"""E10 - software-mitigation context (Section VIII): LFENCE around
+every conditional branch vs Conditional Speculation.
+
+The hardware defense's selling point is that it costs far less than
+blanket software serialization on the same workloads.
+"""
+from conftest import BENCH_SCALE, run_once, suite_benchmarks
+
+from repro.experiments import run_fence_ablation
+
+
+def test_bench_fence_ablation(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: run_fence_ablation(benchmarks=suite_benchmarks(),
+                                   scale=BENCH_SCALE),
+    )
+    print()
+    print(result.render())
+
+    lfence = result.average_overhead("lfence")
+    tpbuf = result.average_overhead("tpbuf")
+    print(f"\nlfence-per-branch={lfence:.1%}, "
+          f"conditional speculation={tpbuf:.1%}")
+    assert lfence > tpbuf

@@ -1,0 +1,24 @@
+"""E9 - Section VII.B: the ICache-hit filter extension.
+
+The paper leaves its performance evaluation as ongoing work; we
+measure it: unsafe next-PC fetches that miss L1I stall until the
+oldest branch resolves.  The expected result is a small additional
+cost on top of Cache-hit + TPBuf (instruction working sets are small).
+"""
+from conftest import BENCH_SCALE, run_once, suite_benchmarks
+
+from repro.experiments import run_icache_filter_study
+
+
+def test_bench_icache_filter(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: run_icache_filter_study(benchmarks=suite_benchmarks(),
+                                        scale=BENCH_SCALE),
+    )
+    print()
+    print(result.render())
+    extra = result.average_extra()
+    print(f"\naverage extra overhead from the ICache-hit filter: "
+          f"{extra:.2%}")
+    assert extra < 0.25

@@ -1,0 +1,29 @@
+"""E8 - Section VI.C(1): branch-only vs full security dependence
+matrix.
+
+Paper: the branch-memory-only matrix costs 23.0% on average vs 53.6%
+for the full Baseline - but it does not cover memory-memory
+speculation, so Spectre V4 escapes it.  Both halves are asserted.
+"""
+from conftest import BENCH_SCALE, run_once, suite_benchmarks
+
+from repro.experiments import run_matrix_ablation
+
+
+def test_bench_matrix_ablation(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: run_matrix_ablation(benchmarks=suite_benchmarks(),
+                                    scale=BENCH_SCALE),
+    )
+    print()
+    print(result.render())
+
+    full = result.average_overhead("full")
+    branch_only = result.average_overhead("branch_only")
+    print(f"\nfull baseline={full:.1%} (paper 53.6%), "
+          f"branch-only={branch_only:.1%} (paper 23.0%)")
+
+    assert branch_only <= full + 0.01
+    assert result.v4_leaks_with_branch_only
+    assert result.v4_blocked_with_full

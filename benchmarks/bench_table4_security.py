@@ -1,0 +1,19 @@
+"""E2 - Table IV: security analysis of the three mechanisms against
+the six attack scenarios.
+
+Paper's result: Baseline and the Cache-hit filter defeat all six;
+Cache-hit + TPBuf defeats the four shared-memory scenarios but NOT the
+two non-shared ones (Prime+Probe / Evict+Time without shared data) -
+same-page transmission evades the S-Pattern.
+"""
+from conftest import run_once
+
+from repro.experiments import run_table4
+
+
+def test_bench_table4(benchmark):
+    result = run_once(benchmark, run_table4)
+    print()
+    print(result.render())
+    assert result.all_match_paper(), \
+        "a scenario diverged from the paper's Table IV"

@@ -1,0 +1,39 @@
+"""E3 - Table V: filter analysis (per-benchmark L1 hit rate, blocked
+rates, speculative-access hit rate, S-Pattern mismatch rate).
+
+Paper's shape: Baseline blocks ~74% of correct-path memory accesses;
+the Cache-hit filter drops that to ~3.6% thanks to high hit rates; the
+TPBuf drops it further to ~1.7%.  lbm has low hit rate but very high
+S-Pattern mismatch (86.2%); libquantum's misses almost all match the
+S-Pattern (<0.1% mismatch).
+"""
+from conftest import BENCH_SCALE, run_once, suite_benchmarks
+
+from repro.experiments import run_table5
+from repro.experiments.compare import compare_table5
+
+
+def test_bench_table5(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: run_table5(benchmarks=suite_benchmarks(),
+                           scale=BENCH_SCALE),
+    )
+    print()
+    print(result.render())
+    print()
+    print(compare_table5(result))
+
+    avg = result.averages()
+    print(f"\naverages: baseline blocked {avg.baseline_blocked:.1%} "
+          f"(paper 73.6%), cache-hit blocked {avg.cachehit_blocked:.1%} "
+          f"(paper 3.6%), tpbuf blocked {avg.tpbuf_blocked:.1%} "
+          f"(paper 1.7%)")
+
+    # Shape: Baseline blocks an order of magnitude more than filters.
+    assert avg.baseline_blocked > 0.4
+    assert avg.cachehit_blocked < avg.baseline_blocked / 2
+    assert avg.tpbuf_blocked <= avg.cachehit_blocked + 0.01
+    # lbm vs libquantum S-Pattern contrast.
+    assert result.row("lbm").spattern_mismatch > 0.4
+    assert result.row("libquantum").spattern_mismatch < 0.1

@@ -1,0 +1,41 @@
+"""Shared configuration for the benchmark harness.
+
+Environment knobs:
+
+- ``REPRO_BENCH_SCALE``  - workload scale factor (default 1.0).
+- ``REPRO_BENCH_QUICK``  - set to 1 to run a representative benchmark
+  subset instead of the full 22-benchmark suite.
+"""
+import os
+
+import pytest
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "0") == "1"
+
+#: Representative subset: the TPBuf sweet spot (lbm, zeusmp, mcf), the
+#: S-Pattern pathology (libquantum), streaming (milc, bwaves), high-hit
+#: compute (GemsFDTD, hmmer) and the branchy case (astar).
+QUICK_BENCHMARKS = [
+    "astar", "GemsFDTD", "hmmer", "lbm", "libquantum", "mcf", "milc",
+    "zeusmp",
+]
+
+
+def suite_benchmarks():
+    """Benchmarks to sweep: the full Table V list, or the quick set."""
+    if QUICK:
+        return QUICK_BENCHMARKS
+    from repro.workloads import spec_names
+    return spec_names()
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return BENCH_SCALE
+
+
+def run_once(benchmark, func):
+    """Run an expensive simulation exactly once under pytest-benchmark
+    timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,93 @@
+"""Write a Spectre gadget in assembly, watch it leak, then watch the
+defense stop it.
+
+This example uses the text assembler (the same syntax as the paper's
+listings) rather than the ProgramBuilder API, and inspects the cache
+state directly instead of going through a full timing receiver - handy
+for experimenting with new gadget shapes.
+
+Run:  python examples/custom_gadget.py
+"""
+from repro import Processor, SecurityConfig, assemble, paper_config
+
+SOURCE = """
+    ; victim data layout:
+    ;   0x4000  array1_size (= 1)
+    ;   0x5000  array1 base
+    ;   0x5000 + 8*0x600 = 0x8000  the secret (value 11)
+    ;   0x100000 + v*4096          probe array, one page per value
+
+    li   r9, 0x8000        ; victim recently used its secret:
+    load r10, r9           ; warm the secret line
+
+    li   r20, 0            ; x = 0 (training, in bounds) -- 6 rounds
+    li   r30, 7
+loop:
+    ; open the window: flush the bound, then fence
+    li   r24, 0x4000
+    clflush r24
+    fence
+
+    ; --- the gadget (paper Listing 2 shape) ---
+    li   r9, 0x4000
+    load r10, r9           ; array1_size  (delinquent load)
+    bge  r20, r10, skip    ; bounds check (trained not-taken)
+    shli r11, r20, 3
+    li   r12, 0x5000
+    add  r12, r12, r11
+    load r13, r12          ; array1[x] -- the secret when x = 0x600
+    shli r14, r13, 12
+    li   r15, 0x100000
+    add  r15, r15, r14
+    load r9, r15           ; transmit: probe[array1[x] * 4096]
+skip:
+    ; last iteration flips x out of bounds
+    li   r20, 0
+    addi r31, r30, -2
+    bne  r31, r0, not_last
+    li   r20, 0x600        ; (0x8000 - 0x5000) / 8
+not_last:
+    addi r30, r30, -1
+    bne  r30, r0, loop
+    halt
+
+.data 0x4000
+    .word 1
+.data 0x5000
+    .word 0
+.data 0x8000
+    .word 11
+"""
+
+
+def run(security, label):
+    program = assemble(SOURCE)
+    cpu = Processor(program, machine=paper_config(), security=security)
+    report = cpu.run(max_cycles=500_000)
+    assert report.halted
+    print(f"=== {label} ===")
+    hits = []
+    for value in range(16):
+        paddr = cpu.vaddr_to_paddr(0x100000 + value * 4096)
+        if cpu.hierarchy.probe_data(paddr):
+            hits.append(value)
+    print(f"  probe lines cached after run: {hits}")
+    leaked = [v for v in hits if v != 0]   # 0 is the training value
+    if leaked:
+        print(f"  --> secret leaked through the cache: {leaked[0]}")
+    else:
+        print("  --> no secret-dependent line was refilled: defended")
+    print(f"  (suspect issues: {report.suspect_issues}, "
+          f"blocked: {report.block_events})")
+    print()
+
+
+def main():
+    run(SecurityConfig.origin(), "Origin (unprotected)")
+    run(SecurityConfig.baseline(), "Baseline")
+    run(SecurityConfig.cache_hit(), "Cache-hit filter")
+    run(SecurityConfig.cache_hit_tpbuf(), "Cache-hit + TPBuf")
+
+
+if __name__ == "__main__":
+    main()

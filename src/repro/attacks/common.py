@@ -1,0 +1,104 @@
+"""Shared plumbing for the attack builders."""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Optional
+
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+from ..memory.tlb import PageTable
+from ..params import MachineParams, paper_config
+from .gadgets import R_X
+from .layout import AttackLayout
+from .sidechannel import Channel, FlushReloadChannel
+
+
+@dataclass
+class AttackProgram:
+    """A ready-to-run attack: program, page table and decode recipe.
+
+    Page tables are stateful (wrong-path accesses may map pages on
+    demand), so an :class:`AttackProgram` is intended for a single
+    simulation; rebuild it for each run.
+    """
+
+    name: str
+    program: Program
+    page_table: PageTable
+    layout: AttackLayout
+    channel: Channel
+    #: Candidates to ignore in decode (polluted by attack mechanics).
+    exclude: FrozenSet[int] = frozenset()
+
+
+def make_builder(layout: AttackLayout) -> ProgramBuilder:
+    """Builder pre-populated with the layout's initial data image."""
+    builder = ProgramBuilder(base_address=layout.code_base)
+    for address, value in sorted(layout.initial_data().items()):
+        builder.data_word(address, value)
+    return builder
+
+
+def emit_prewarm(builder: ProgramBuilder, layout: AttackLayout) -> None:
+    """Warm the secret and array1 lines (the victim recently used its
+    own data - the standard Spectre assumption that keeps the
+    secret-access latency inside the speculation window)."""
+    builder.li(9, layout.secret_addr)
+    builder.load(10, 9, note="prewarm secret")
+    builder.li(9, layout.array1_base)
+    builder.load(10, 9, note="prewarm array1")
+
+
+def emit_training_loop(
+    builder: ProgramBuilder,
+    layout: AttackLayout,
+    channel: Channel,
+    gadget: Callable[[ProgramBuilder, AttackLayout, str], None],
+) -> None:
+    """The standard trigger loop: ``n_train`` in-bounds iterations to
+    train the bounds branch, then one out-of-bounds trigger.  Every
+    iteration first resets the side channel and re-opens the
+    speculation window, so the final iteration observes only the
+    malicious speculative access."""
+    builder.li(30, layout.n_iterations)   # down counter
+    builder.li(29, 0)                     # iteration index
+    builder.label("attack_main_loop")
+    # x = inputs[iteration]
+    builder.shli(28, 29, 3)
+    builder.li(27, layout.inputs_base)
+    builder.add(28, 28, 27)
+    builder.load(R_X, 28, note="victim input x")
+    channel.emit_reset(builder, layout)
+    gadget(builder, layout, "main")
+    builder.addi(29, 29, 1)
+    builder.addi(30, 30, -1)
+    builder.bne(30, 0, "attack_main_loop")
+
+
+def finish(
+    name: str,
+    builder: ProgramBuilder,
+    layout: AttackLayout,
+    channel: Channel,
+    page_table: PageTable,
+    exclude: FrozenSet[int] = frozenset(),
+) -> AttackProgram:
+    """Emit the measurement phase and package the attack."""
+    channel.emit_measure(builder, layout)
+    builder.halt()
+    return AttackProgram(
+        name=name,
+        program=builder.build(),
+        page_table=page_table,
+        layout=layout,
+        channel=channel,
+        exclude=exclude,
+    )
+
+
+def default_channel(channel: Optional[Channel]) -> Channel:
+    return channel if channel is not None else FlushReloadChannel()
+
+
+def default_machine(machine: Optional[MachineParams]) -> MachineParams:
+    return machine if machine is not None else paper_config()

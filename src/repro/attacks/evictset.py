@@ -1,0 +1,86 @@
+"""Eviction-set construction.
+
+Caches are physically indexed, so an eviction set is built from the
+attacker's own pages whose *physical* addresses fall into the target
+set.  The threat model grants the attacker knowledge of the address
+layout; here that means the page table is consulted while generating
+the attack program (the simulated code itself only ever uses plain
+virtual addresses).
+"""
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import SimulationError
+from ..memory.tlb import PageTable
+from ..params import CacheParams
+
+LINE = 64
+
+
+def cache_set_of(paddr: int, cache: CacheParams) -> int:
+    """Set index of a physical address in ``cache``."""
+    return (paddr >> (cache.line_bytes.bit_length() - 1)) \
+        & (cache.num_sets - 1)
+
+
+class EvictionAllocator:
+    """Allocates attacker pages and carves out eviction addresses.
+
+    Pages are mapped eagerly from ``region_base`` upward; for each
+    requested target set, the allocator finds (mapping more pages as
+    needed) virtual lines whose physical translation lands in that set.
+    """
+
+    def __init__(self, page_table: PageTable, region_base: int) -> None:
+        self.page_table = page_table
+        self.region_base = region_base
+        self._page_bytes = page_table.page_bytes
+        self._next_page_index = 0
+
+    def _map_next_page(self) -> int:
+        """Map one more attacker page; returns its virtual base."""
+        vaddr = self.region_base + self._next_page_index * self._page_bytes
+        self._next_page_index += 1
+        vpn = vaddr // self._page_bytes
+        if self.page_table.lookup(vpn) is None:
+            self.page_table.map_page(vpn)
+        return vaddr
+
+    def addresses_for_set(self, target_set: int, cache: CacheParams,
+                          count: int, max_pages: int = 4096) -> List[int]:
+        """Virtual addresses of ``count`` distinct attacker lines whose
+        physical addresses map to ``target_set`` of ``cache``."""
+        lines_per_page = self._page_bytes // cache.line_bytes
+        offset_mask = lines_per_page - 1
+        want_offset_bits = target_set & offset_mask
+        found: List[int] = []
+        pages_tried = 0
+        page_index = 0
+        while len(found) < count:
+            if page_index >= self._next_page_index:
+                if pages_tried >= max_pages:
+                    raise SimulationError(
+                        f"could not build eviction set for set {target_set}"
+                    )
+                self._map_next_page()
+                pages_tried += 1
+            page_vaddr = (self.region_base
+                          + page_index * self._page_bytes)
+            page_index += 1
+            candidate = page_vaddr \
+                + want_offset_bits * cache.line_bytes
+            paddr = self.page_table.physical_address(candidate)
+            if cache_set_of(paddr, cache) == target_set:
+                found.append(candidate)
+        return found
+
+    def eviction_set_for(self, target_vaddr: int, cache: CacheParams,
+                         extra_ways: int = 1) -> List[int]:
+        """Eviction set covering the cache set of ``target_vaddr``:
+        ``ways + extra_ways`` attacker lines in the same set."""
+        target_paddr = self.page_table.physical_address(target_vaddr)
+        target_set = cache_set_of(target_paddr, cache)
+        return self.addresses_for_set(
+            target_set, cache, cache.ways + extra_ways
+        )

@@ -1,0 +1,102 @@
+"""Victim gadget emitters shared by the Spectre PoCs.
+
+Register conventions across the attack programs:
+
+- r9-r15  : gadget scratch
+- r16     : victim input ``x``
+- r12/r14 : victim "call arguments" (pointer / probe base) for V2
+- r19     : gadget return address (V2)
+- r24-r27 : receiver scratch (see sidechannel.py)
+- r28-r31 : loop control
+"""
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from .layout import AttackLayout
+
+R_X = 16
+R_ARG_PTR = 12
+R_ARG_PROBE = 14
+R_RET = 19
+
+
+def emit_scaled_offset(builder: ProgramBuilder, dst: int, src: int,
+                       scratch: int, stride: int) -> None:
+    """``dst = src * stride`` using shifts and adds (stride is a sum of
+    powers of two, e.g. the classic 4096+64 probe stride)."""
+    first = True
+    remaining = stride
+    shift = 0
+    while remaining:
+        if remaining & 1:
+            if first:
+                builder.shli(dst, src, shift)
+                first = False
+            else:
+                builder.shli(scratch, src, shift)
+                builder.add(dst, dst, scratch)
+        remaining >>= 1
+        shift += 1
+    if first:
+        builder.li(dst, 0)
+
+
+def emit_transmit(builder: ProgramBuilder, layout: AttackLayout,
+                  value_reg: int) -> None:
+    """The transmitting access: ``probe[value * stride]``."""
+    emit_scaled_offset(builder, 14, value_reg, 11, layout.probe_stride)
+    builder.li(15, layout.probe_base)
+    builder.add(15, 15, 14)
+    builder.load(9, 15, note="transmit")
+
+
+def emit_bounds_check_gadget(builder: ProgramBuilder, layout: AttackLayout,
+                             tag: str) -> None:
+    """The Spectre V1 victim (Listing 2 of the paper)::
+
+        if (x < array1_size)              // bounds check, slow operand
+            y = probe[array1[x] * stride] // speculated past the check
+    """
+    skip = f"v1_skip_{tag}"
+    builder.li(9, layout.size_addr)
+    builder.load(10, 9, note="array1_size (delinquent)")
+    builder.bge(R_X, 10, skip)
+    builder.shli(11, R_X, 3)
+    builder.li(12, layout.array1_base)
+    builder.add(12, 12, 11)
+    builder.load(13, 12, note="array1[x] (unsafe when oob)")
+    emit_transmit(builder, layout, 13)
+    builder.label(skip)
+
+
+def emit_indirect_gadget_body(builder: ProgramBuilder, layout: AttackLayout,
+                              tag: str) -> None:
+    """The Spectre V2 gadget: dereference the pointer argument and
+    transmit, then return through r19.  The victim never reaches this
+    code architecturally; the attacker steers speculation here by
+    poisoning the BTB."""
+    builder.label(f"v2_gadget_{tag}")
+    builder.load(13, R_ARG_PTR, note="attacker-pointed secret read")
+    emit_scaled_offset(builder, 15, 13, 11, layout.probe_stride)
+    builder.add(15, R_ARG_PROBE, 15)
+    builder.load(9, 15, note="transmit")
+    builder.jmpi(R_RET)
+
+
+def emit_store_bypass_gadget(builder: ProgramBuilder, layout: AttackLayout,
+                             tag: str, ptr_addr: int) -> None:
+    """The Spectre V4 victim (Listing 1 of the paper)::
+
+        *p = 0;            // sanitizing store, address p is delinquent
+        y = probe[ mem[X] * stride ]   // load bypasses the store
+
+    ``ptr_addr`` holds the (flushed) pointer ``p`` which equals the
+    secret's address X, so the speculative load reads the stale secret
+    before the sanitizing store lands.
+    """
+    builder.li(9, ptr_addr)
+    builder.load(10, 9, note="pointer p (delinquent)")
+    builder.store(0, 10, note="sanitizing store, unknown address")
+    builder.li(12, layout.secret_addr)
+    builder.load(13, 12, note="bypassing load (reads stale secret)")
+    emit_transmit(builder, layout, 13)

@@ -1,0 +1,329 @@
+"""Cache side-channel receivers.
+
+Each :class:`Channel` contributes three pieces to an attack program:
+
+- ``emit_reset`` - code run *before* the victim trigger on every
+  iteration: put the channel into its known state (flush / evict /
+  prime) and open the speculation window (make the victim's bounds
+  variable a delinquent access).
+- ``emit_measure`` - code run once after the main loop: time the
+  channel state and store one timing word per candidate value.
+- ``decode`` - interpret the timing words into a recovered value and
+  a leak verdict.
+
+All timing in the simulated programs uses the serializing ``RDCYCLE``
+instruction, exactly like ``rdtscp``-based real receivers.
+"""
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..isa.builder import ProgramBuilder
+from ..memory.tlb import PageTable
+from ..params import MachineParams
+from .evictset import EvictionAllocator
+from .layout import AttackLayout
+
+# Scratch registers reserved for receivers (victim gadgets use r9-r19,
+# loop control uses r28-r31).
+_R_ADDR = 24
+_R_T0 = 25
+_R_VAL = 26
+_R_T1 = 27
+
+
+@dataclass(frozen=True)
+class ChannelVerdict:
+    """Decoded result of one side-channel measurement."""
+
+    recovered: Optional[int]
+    leaked: bool
+    gap: float
+    timings: List[int]
+
+
+_ILINE = 64
+
+
+def _timed_load(builder: ProgramBuilder, vaddr: int,
+                result_addr: int) -> None:
+    """rdcycle / load / rdcycle / store-delta.
+
+    The block is line-aligned so its cold instruction-fetch miss is
+    paid *before* the first rdcycle and never lands inside the timed
+    window (real receivers keep the timed code resident the same way).
+    """
+    builder.align(_ILINE)
+    builder.li(_R_ADDR, vaddr)
+    builder.rdcycle(_R_T0)
+    builder.load(_R_VAL, _R_ADDR)
+    builder.rdcycle(_R_T1)
+    builder.sub(_R_T1, _R_T1, _R_T0)
+    builder.li(_R_ADDR, result_addr)
+    builder.store(_R_T1, _R_ADDR)
+
+
+def _timed_load_group(builder: ProgramBuilder, vaddrs: List[int],
+                      result_addr: int) -> None:
+    """Time a group of loads with a single rdcycle pair (the group must
+    fit one instruction line - 4 loads plus bookkeeping does)."""
+    builder.align(_ILINE)
+    builder.rdcycle(_R_T0)
+    for vaddr in vaddrs:
+        builder.li(_R_ADDR, vaddr)
+        builder.load(_R_VAL, _R_ADDR)
+    builder.rdcycle(_R_T1)
+    builder.sub(_R_T1, _R_T1, _R_T0)
+    builder.li(_R_ADDR, result_addr)
+    builder.store(_R_T1, _R_ADDR)
+
+
+class Channel:
+    """Base class: a cache side-channel receiver."""
+
+    #: Whether the channel relies on pages shared with the victim.
+    requires_shared_probe = True
+    #: True when a *larger* timing marks the leaked candidate.
+    slow_is_hit = False
+    #: Minimum (signal - median) gap, in cycles, to call a leak.
+    gap_threshold = 20.0
+
+    name = "abstract"
+
+    def prepare(self, layout: AttackLayout, page_table: PageTable,
+                machine: MachineParams) -> None:
+        """Pre-compute whatever the emitters need (eviction sets)."""
+
+    def emit_reset(self, builder: ProgramBuilder,
+                   layout: AttackLayout) -> None:
+        raise NotImplementedError
+
+    def emit_measure(self, builder: ProgramBuilder,
+                     layout: AttackLayout) -> None:
+        raise NotImplementedError
+
+    # ---- decoding -----------------------------------------------------------
+
+    def decode(self, timings: List[int],
+               exclude: frozenset = frozenset()) -> ChannelVerdict:
+        """Pick the candidate whose timing stands out on the hit side
+        of the distribution and judge whether it stands out enough.
+
+        ``exclude`` names candidates known to be polluted by the attack
+        mechanics (e.g. the re-executed sanitized value in Spectre V4)
+        which are ignored when searching for the signal.
+        """
+        if not timings:
+            return ChannelVerdict(None, False, 0.0, [])
+        candidates = [v for v in range(len(timings)) if v not in exclude]
+        if not candidates:
+            return ChannelVerdict(None, False, 0.0, list(timings))
+        median = statistics.median(timings[v] for v in candidates)
+        if self.slow_is_hit:
+            best = max(candidates, key=lambda v: timings[v])
+            gap = timings[best] - median
+        else:
+            best = min(candidates, key=lambda v: timings[v])
+            gap = median - timings[best]
+        leaked = gap >= self.gap_threshold
+        return ChannelVerdict(best if leaked else None, leaked, gap,
+                              list(timings))
+
+
+class FlushReloadChannel(Channel):
+    """Flush+Reload over shared probe pages (the classic receiver)."""
+
+    name = "flush+reload"
+    requires_shared_probe = True
+    slow_is_hit = False
+    gap_threshold = 30.0
+
+    def emit_reset(self, builder: ProgramBuilder,
+                   layout: AttackLayout) -> None:
+        for value in range(layout.n_values):
+            builder.li(_R_ADDR, layout.attacker_probe_line(value))
+            builder.clflush(_R_ADDR)
+        builder.li(_R_ADDR, layout.size_addr)
+        builder.clflush(_R_ADDR)
+        builder.fence()  # order the flushes before the victim runs
+
+    def emit_measure(self, builder: ProgramBuilder,
+                     layout: AttackLayout) -> None:
+        for value in range(layout.n_values):
+            _timed_load(builder, layout.attacker_probe_line(value),
+                        layout.result_addr(value))
+
+
+class FlushFlushChannel(Channel):
+    """Flush+Flush: time CLFLUSH itself (present lines flush slower)."""
+
+    name = "flush+flush"
+    requires_shared_probe = True
+    slow_is_hit = True
+    gap_threshold = 10.0
+
+    def emit_reset(self, builder: ProgramBuilder,
+                   layout: AttackLayout) -> None:
+        for value in range(layout.n_values):
+            builder.li(_R_ADDR, layout.attacker_probe_line(value))
+            builder.clflush(_R_ADDR)
+        builder.li(_R_ADDR, layout.size_addr)
+        builder.clflush(_R_ADDR)
+        builder.fence()  # order the flushes before the victim runs
+
+    def emit_measure(self, builder: ProgramBuilder,
+                     layout: AttackLayout) -> None:
+        for value in range(layout.n_values):
+            builder.align(64)
+            builder.li(_R_ADDR, layout.attacker_probe_line(value))
+            builder.rdcycle(_R_T0)
+            builder.clflush(_R_ADDR)
+            builder.rdcycle(_R_T1)
+            builder.sub(_R_T1, _R_T1, _R_T0)
+            builder.li(_R_ADDR, layout.result_addr(value))
+            builder.store(_R_T1, _R_ADDR)
+
+
+class EvictReloadChannel(Channel):
+    """Evict+Reload: like Flush+Reload but evicts via L3 eviction sets
+    (inclusive back-invalidation empties L1/L2 too)."""
+
+    name = "evict+reload"
+    requires_shared_probe = True
+    slow_is_hit = False
+    gap_threshold = 30.0
+
+    def __init__(self) -> None:
+        self._evict_sets: Dict[int, List[int]] = {}
+        self._size_evict: List[int] = []
+
+    def prepare(self, layout: AttackLayout, page_table: PageTable,
+                machine: MachineParams) -> None:
+        allocator = EvictionAllocator(page_table, layout.evict_region_base)
+        l3 = machine.memory.l3
+        for value in range(layout.n_values):
+            self._evict_sets[value] = allocator.eviction_set_for(
+                layout.probe_line(value), l3
+            )
+        self._size_evict = allocator.eviction_set_for(layout.size_addr, l3)
+
+    def emit_reset(self, builder: ProgramBuilder,
+                   layout: AttackLayout) -> None:
+        for value in range(layout.n_values):
+            for vaddr in self._evict_sets[value]:
+                builder.li(_R_ADDR, vaddr)
+                builder.load(_R_VAL, _R_ADDR)
+        for vaddr in self._size_evict:
+            builder.li(_R_ADDR, vaddr)
+            builder.load(_R_VAL, _R_ADDR)
+        builder.fence()  # order the evictions before the victim runs
+
+    def emit_measure(self, builder: ProgramBuilder,
+                     layout: AttackLayout) -> None:
+        for value in range(layout.n_values):
+            _timed_load(builder, layout.attacker_probe_line(value),
+                        layout.result_addr(value))
+
+
+class PrimeProbeChannel(Channel):
+    """Prime+Probe on the L1D: prime each monitored set with attacker
+    lines, trigger, then time the re-loads of the primed lines (an
+    evicted line re-loads slower).  Works with or without shared
+    transmit pages; pair it with a same-page layout for the
+    "no shared data" scenario of Table IV."""
+
+    name = "prime+probe"
+    requires_shared_probe = False
+    slow_is_hit = True
+    gap_threshold = 5.0
+
+    def __init__(self) -> None:
+        self._prime_sets: Dict[int, List[int]] = {}
+        self._size_evict: List[int] = []
+
+    def prepare(self, layout: AttackLayout, page_table: PageTable,
+                machine: MachineParams) -> None:
+        allocator = EvictionAllocator(page_table, layout.evict_region_base)
+        l1d = machine.memory.l1d
+        for value in range(layout.n_values):
+            self._prime_sets[value] = allocator.eviction_set_for(
+                layout.probe_line(value), l1d, extra_ways=0
+            )
+        self._size_evict = allocator.eviction_set_for(
+            layout.size_addr, machine.memory.l3
+        )
+
+    def emit_reset(self, builder: ProgramBuilder,
+                   layout: AttackLayout) -> None:
+        # Evict the bounds variable (window) ...
+        for vaddr in self._size_evict:
+            builder.li(_R_ADDR, vaddr)
+            builder.load(_R_VAL, _R_ADDR)
+        # ... then prime every monitored L1 set.
+        for value in range(layout.n_values):
+            for vaddr in self._prime_sets[value]:
+                builder.li(_R_ADDR, vaddr)
+                builder.load(_R_VAL, _R_ADDR)
+        builder.fence()  # order the priming before the victim runs
+
+    def emit_measure(self, builder: ProgramBuilder,
+                     layout: AttackLayout) -> None:
+        for value in range(layout.n_values):
+            _timed_load_group(builder, self._prime_sets[value],
+                              layout.result_addr(value))
+
+
+class EvictTimeChannel(Channel):
+    """Evict+Time without shared pages: evict every candidate line,
+    trigger, then time a victim utility that architecturally touches
+    its own transmit lines - a speculatively refilled line makes that
+    (timed) victim access fast."""
+
+    name = "evict+time"
+    requires_shared_probe = False
+    slow_is_hit = False
+    gap_threshold = 30.0
+
+    def __init__(self) -> None:
+        self._evict_sets: Dict[int, List[int]] = {}
+        self._size_evict: List[int] = []
+
+    def prepare(self, layout: AttackLayout, page_table: PageTable,
+                machine: MachineParams) -> None:
+        allocator = EvictionAllocator(page_table, layout.evict_region_base)
+        l3 = machine.memory.l3
+        for value in range(layout.n_values):
+            self._evict_sets[value] = allocator.eviction_set_for(
+                layout.probe_line(value), l3
+            )
+        self._size_evict = allocator.eviction_set_for(layout.size_addr, l3)
+
+    def emit_reset(self, builder: ProgramBuilder,
+                   layout: AttackLayout) -> None:
+        for value in range(layout.n_values):
+            for vaddr in self._evict_sets[value]:
+                builder.li(_R_ADDR, vaddr)
+                builder.load(_R_VAL, _R_ADDR)
+        for vaddr in self._size_evict:
+            builder.li(_R_ADDR, vaddr)
+            builder.load(_R_VAL, _R_ADDR)
+        builder.fence()  # order the evictions before the victim runs
+
+    def emit_measure(self, builder: ProgramBuilder,
+                     layout: AttackLayout) -> None:
+        # The timed accesses use the *victim's* own addresses: the
+        # attacker merely times the victim utility call.
+        for value in range(layout.n_values):
+            _timed_load(builder, layout.probe_line(value),
+                        layout.result_addr(value))
+
+
+ALL_CHANNELS = (
+    FlushReloadChannel,
+    FlushFlushChannel,
+    EvictReloadChannel,
+    PrimeProbeChannel,
+    EvictTimeChannel,
+)

@@ -1,0 +1,44 @@
+"""SpectrePrime: the bounds-check-bypass gadget observed through a
+Prime+Probe receiver over shared transmit pages (Table IV's
+"Prime+Probe, share data" row).
+
+The original SpectrePrime uses coherence-invalidation timing on a
+multi-core; on our single-core substrate the equivalent observable is
+the L1 set-occupancy change caused by the speculative transmit fill,
+which the Prime+Probe receiver measures.
+"""
+from __future__ import annotations
+
+from typing import Optional
+
+from ..params import MachineParams
+from .common import (
+    AttackProgram,
+    default_machine,
+    emit_prewarm,
+    emit_training_loop,
+    finish,
+    make_builder,
+)
+from .gadgets import emit_bounds_check_gadget
+from .layout import AttackLayout
+from .sidechannel import PrimeProbeChannel
+
+
+def build_spectre_prime(
+    layout: Optional[AttackLayout] = None,
+    machine: Optional[MachineParams] = None,
+) -> AttackProgram:
+    """Assemble a SpectrePrime attack (V1 gadget + Prime+Probe)."""
+    channel = PrimeProbeChannel()
+    layout = layout if layout is not None else AttackLayout()
+    machine = default_machine(machine)
+    page_table = layout.build_page_table(shared_probe=True)
+    channel.prepare(layout, page_table, machine)
+
+    builder = make_builder(layout)
+    emit_prewarm(builder, layout)
+    emit_training_loop(builder, layout, channel, emit_bounds_check_gadget)
+    return finish(
+        "spectre-prime/prime+probe", builder, layout, channel, page_table
+    )

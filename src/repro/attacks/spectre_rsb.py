@@ -1,0 +1,91 @@
+"""Spectre-RSB / ret2spec (extension beyond the paper's four variants).
+
+The return-address stack is speculative and unrepaired: a function that
+*changes* its return target (here: reloads it through a delinquent
+pointer) still returns-predicts to the original call site.  The
+attacker plants the leak gadget directly after the call site, so it
+executes speculatively for a DRAM latency before the RET resolves to
+the benign exit.
+
+The paper's related work cites this variant ("Spectre Returns") as an
+LFENCE-bypassing attack; under Conditional Speculation the RET is a
+branch like any other, so the gadget's loads are security-dependent
+and all three mechanisms block the leak - which this module's bench
+and tests demonstrate.
+"""
+from __future__ import annotations
+
+from typing import Optional
+
+from ..params import MachineParams
+from .common import (
+    AttackProgram,
+    default_channel,
+    default_machine,
+    emit_prewarm,
+    make_builder,
+)
+from .gadgets import emit_transmit
+from .layout import AttackLayout
+from .sidechannel import Channel
+
+_R_TMP = 24
+
+
+def build_spectre_rsb(
+    channel: Optional[Channel] = None,
+    layout: Optional[AttackLayout] = None,
+    machine: Optional[MachineParams] = None,
+) -> AttackProgram:
+    """Assemble a Spectre-RSB attack with the given receiver/layout."""
+    channel = default_channel(channel)
+    layout = layout if layout is not None else AttackLayout()
+    machine = default_machine(machine)
+    page_table = layout.build_page_table(
+        shared_probe=channel.requires_shared_probe
+    )
+    channel.prepare(layout, page_table, machine)
+
+    builder = make_builder(layout)
+    emit_prewarm(builder, layout)
+
+    # The victim's *actual* return target lives in memory (think: a
+    # return address spilled to the stack) and points at the benign
+    # exit.  Reuses the layout's pointer slot.
+    builder.li_label(_R_TMP, "rsb_benign_exit")
+    builder.li(_R_TMP + 1, layout.fnptr_addr)
+    builder.store(_R_TMP, _R_TMP + 1)
+
+    # Victim register state the gadget will consume speculatively.
+    builder.li(12, layout.secret_addr)
+
+    # Open the channel and make the return target delinquent.
+    channel.emit_reset(builder, layout)
+    builder.li(_R_TMP, layout.fnptr_addr)
+    builder.clflush(_R_TMP)
+    builder.fence()
+
+    # The call; the RAS records the next address - the gadget.
+    builder.call("rsb_victim_fn")
+    # ---- return-site gadget (speculative-only execution) ----------------
+    builder.load(13, 12, note="secret read via stale return prediction")
+    emit_transmit(builder, layout, 13)
+    builder.jmp("rsb_benign_exit")
+
+    # ---- the victim function ---------------------------------------------
+    builder.label("rsb_victim_fn")
+    builder.li(9, layout.fnptr_addr)
+    builder.load(31, 9, note="reload return target (delinquent)")
+    builder.ret()
+
+    # ---- benign exit: measurement ------------------------------------------
+    builder.label("rsb_benign_exit")
+    channel.emit_measure(builder, layout)
+    builder.halt()
+    return AttackProgram(
+        name=f"spectre-rsb/{channel.name}",
+        program=builder.build(),
+        page_table=page_table,
+        layout=layout,
+        channel=channel,
+    )

@@ -1,0 +1,55 @@
+"""Spectre V1 (bounds check bypass) proof of concept.
+
+Structure (one program, matching the paper's threat model of attacker
+and victim on one machine):
+
+1. warm the secret and array1 lines (victim recently used them);
+2. training loop: ``n_train`` calls of the bounds-check gadget with an
+   in-bounds ``x`` - the branch predictor learns *not taken*;
+3. each iteration first resets the side channel (flush/evict/prime)
+   and makes ``array1_size`` a delinquent access, opening the window;
+4. the final iteration supplies the out-of-bounds ``x`` whose
+   ``array1 + 8x`` aliases the secret: the check is speculated past,
+   the secret is read, and ``probe[secret * stride]`` is refilled;
+5. the receiver measures the channel and writes one timing word per
+   candidate.
+"""
+from __future__ import annotations
+
+from typing import Optional
+
+from ..params import MachineParams
+from .common import (
+    AttackProgram,
+    default_channel,
+    default_machine,
+    emit_prewarm,
+    emit_training_loop,
+    finish,
+    make_builder,
+)
+from .gadgets import emit_bounds_check_gadget
+from .layout import AttackLayout
+from .sidechannel import Channel
+
+
+def build_spectre_v1(
+    channel: Optional[Channel] = None,
+    layout: Optional[AttackLayout] = None,
+    machine: Optional[MachineParams] = None,
+) -> AttackProgram:
+    """Assemble a Spectre V1 attack with the given receiver/layout."""
+    channel = default_channel(channel)
+    layout = layout if layout is not None else AttackLayout()
+    machine = default_machine(machine)
+    page_table = layout.build_page_table(
+        shared_probe=channel.requires_shared_probe
+    )
+    channel.prepare(layout, page_table, machine)
+
+    builder = make_builder(layout)
+    emit_prewarm(builder, layout)
+    emit_training_loop(builder, layout, channel, emit_bounds_check_gadget)
+    return finish(
+        f"spectre-v1/{channel.name}", builder, layout, channel, page_table
+    )

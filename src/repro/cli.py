@@ -1,0 +1,253 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``run``      - assemble and simulate a program file.
+- ``attack``   - run a Spectre PoC under a protection mode.
+- ``bench``    - simulate a SPEC profile under one or all modes.
+- ``figure5`` / ``table4`` / ``table5`` / ``table6`` / ``lru`` /
+  ``area``   - regenerate a paper artifact.
+"""
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .attacks import (
+    build_spectre_prime,
+    build_spectre_rsb,
+    build_spectre_v1,
+    build_spectre_v2,
+    build_spectre_v4,
+    run_attack,
+)
+from .attacks.layout import AttackLayout
+from .attacks.sidechannel import (
+    EvictReloadChannel,
+    EvictTimeChannel,
+    FlushFlushChannel,
+    FlushReloadChannel,
+    PrimeProbeChannel,
+)
+from .core.policy import EVALUATION_MODES, ProtectionMode, SecurityConfig
+from .experiments import (
+    run_area_study,
+    run_figure5,
+    run_lru_study,
+    run_modes,
+    run_table4,
+    run_table5,
+    run_table6,
+)
+from .experiments.area_study import render_area_study
+from .isa import assemble
+from .config_io import load_machine
+from .params import preset
+from .pipeline.processor import Processor
+from .pipeline.report import compare_table
+from .pipeline.trace import PipelineTracer
+from .workloads import spec_names
+
+_CHANNELS = {
+    "flush+reload": FlushReloadChannel,
+    "flush+flush": FlushFlushChannel,
+    "evict+reload": EvictReloadChannel,
+    "prime+probe": PrimeProbeChannel,
+    "evict+time": EvictTimeChannel,
+}
+
+_ATTACKS = {
+    "v1": build_spectre_v1,
+    "v2": build_spectre_v2,
+    "v4": build_spectre_v4,
+    "rsb": build_spectre_rsb,
+    "prime": lambda channel=None, layout=None, machine=None:
+        build_spectre_prime(layout=layout, machine=machine),
+}
+
+
+def _security(mode_name: str) -> SecurityConfig:
+    return SecurityConfig(mode=ProtectionMode(mode_name))
+
+
+def _add_machine_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--machine", default="paper",
+                        choices=["paper", "a57-like", "i7-like",
+                                 "xeon-like", "tiny"],
+                        help="machine preset (default: paper)")
+    parser.add_argument("--machine-file", default=None,
+                        help="JSON machine description (overrides "
+                             "--machine; see repro.config_io)")
+
+
+def _machine(args: argparse.Namespace):
+    if getattr(args, "machine_file", None):
+        return load_machine(args.machine_file, base=preset(args.machine))
+    return preset(args.machine)
+
+
+def _add_mode_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--mode", default="cache_hit_tpbuf",
+                        choices=[m.value for m in EVALUATION_MODES],
+                        help="protection mode")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    with open(args.program) as handle:
+        program = assemble(handle.read())
+    tracer = PipelineTracer() if args.trace else None
+    cpu = Processor(program, machine=_machine(args),
+                    security=_security(args.mode), tracer=tracer)
+    report = cpu.run(max_cycles=args.max_cycles)
+    print(report.render())
+    if args.regs:
+        for reg in range(32):
+            value = cpu.arch_reg(reg)
+            if value:
+                print(f"  r{reg} = {value:#x} ({value})")
+    if tracer is not None:
+        print()
+        print(tracer.render(last=args.trace_last))
+    return 0 if report.halted else 1
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    build = _ATTACKS[args.variant]
+    channel = _CHANNELS[args.channel]() if args.variant != "prime" else None
+    layout = AttackLayout.same_page() if args.same_page else None
+    machine = _machine(args)
+    kwargs = {"layout": layout, "machine": machine}
+    if args.variant != "prime":
+        kwargs["channel"] = channel
+    attack = build(**kwargs)
+    result = run_attack(attack, machine=machine,
+                        security=_security(args.mode))
+    print(result.render())
+    print(f"timings: {result.timings}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    machine = _machine(args)
+    if args.benchmark not in spec_names():
+        print(f"unknown benchmark {args.benchmark!r}; "
+              f"choose from {', '.join(spec_names())}", file=sys.stderr)
+        return 2
+    reports = run_modes(args.benchmark, machine=machine, scale=args.scale)
+    origin = reports[ProtectionMode.ORIGIN]
+    print(compare_table(list(reports.values()), origin))
+    return 0
+
+
+def _cmd_figure5(args: argparse.Namespace) -> int:
+    result = run_figure5(benchmarks=args.benchmarks or None,
+                         scale=args.scale)
+    print(result.render())
+    if args.json:
+        from .experiments.export import dump_json, figure5_to_dict
+        dump_json(figure5_to_dict(result), args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_table4(args: argparse.Namespace) -> int:
+    result = run_table4()
+    print(result.render())
+    return 0 if result.all_match_paper() else 1
+
+
+def _cmd_table5(args: argparse.Namespace) -> int:
+    result = run_table5(benchmarks=args.benchmarks or None,
+                        scale=args.scale)
+    print(result.render())
+    if args.json:
+        from .experiments.export import dump_json, table5_to_dict
+        dump_json(table5_to_dict(result), args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_table6(args: argparse.Namespace) -> int:
+    result = run_table6(benchmarks=args.benchmarks or None,
+                        scale=args.scale)
+    print(result.render())
+    return 0
+
+
+def _cmd_lru(args: argparse.Namespace) -> int:
+    result = run_lru_study(benchmarks=args.benchmarks or None,
+                           scale=args.scale)
+    print(result.render())
+    return 0
+
+
+def _cmd_area(args: argparse.Namespace) -> int:
+    print(render_area_study(run_area_study()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Conditional Speculation (HPCA 2019) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="assemble and simulate a program")
+    p_run.add_argument("program", help="assembly source file")
+    p_run.add_argument("--max-cycles", type=int, default=2_000_000)
+    p_run.add_argument("--regs", action="store_true",
+                       help="dump non-zero registers")
+    p_run.add_argument("--trace", action="store_true",
+                       help="print a pipeline trace")
+    p_run.add_argument("--trace-last", type=int, default=40,
+                       help="trace records to print (default 40)")
+    _add_machine_arg(p_run)
+    _add_mode_arg(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_attack = sub.add_parser("attack", help="run a Spectre PoC")
+    p_attack.add_argument("variant", choices=sorted(_ATTACKS))
+    p_attack.add_argument("--channel", default="flush+reload",
+                          choices=sorted(_CHANNELS))
+    p_attack.add_argument("--same-page", action="store_true",
+                          help="same-page transmit layout (non-shared "
+                               "scenario; evades the TPBuf)")
+    _add_machine_arg(p_attack)
+    _add_mode_arg(p_attack)
+    p_attack.set_defaults(func=_cmd_attack)
+
+    p_bench = sub.add_parser("bench", help="simulate one SPEC profile")
+    p_bench.add_argument("benchmark")
+    p_bench.add_argument("--scale", type=float, default=1.0)
+    _add_machine_arg(p_bench)
+    p_bench.set_defaults(func=_cmd_bench)
+
+    for name, func, with_scale in [
+        ("figure5", _cmd_figure5, True),
+        ("table4", _cmd_table4, False),
+        ("table5", _cmd_table5, True),
+        ("table6", _cmd_table6, True),
+        ("lru", _cmd_lru, True),
+        ("area", _cmd_area, False),
+    ]:
+        p_exp = sub.add_parser(name, help=f"regenerate {name}")
+        if with_scale:
+            p_exp.add_argument("--scale", type=float, default=1.0)
+            p_exp.add_argument("--json", default=None,
+                               help="also write the result as JSON")
+            p_exp.add_argument("benchmarks", nargs="*",
+                               help="benchmark subset (default: all)")
+        p_exp.set_defaults(func=func)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

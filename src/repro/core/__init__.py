@@ -1,0 +1,43 @@
+"""Conditional Speculation: the paper's primary contribution.
+
+- :mod:`policy` - protection modes and the knobs of the mechanism.
+- :mod:`security_matrix` - the NxN security dependence matrix that
+  lives in the issue queue (Section V.B).
+- :mod:`tpbuf` - the Trusted Page Buffer and S-Pattern detection
+  (Section V.D).
+- :mod:`filters` - the hazard-filter decision logic combining the
+  Cache-hit filter and TPBuf (Sections V.C / V.D, Table II).
+- :mod:`icache_filter` - the ICache-hit filter extension (Section VII.B).
+- :mod:`area_model` - analytic area/timing model standing in for the
+  paper's RTL synthesis (Section VI.E).
+"""
+from .policy import ProtectionMode, SecurityConfig
+from .security_matrix import SecurityDependenceMatrix
+from .tpbuf import TPBuf, TPBufEntry
+from .filters import HazardFilters, MissVerdict
+from .icache_filter import ICacheHitFilter
+from .area_model import (
+    AreaReport,
+    cache_area_mm2,
+    matrix_area_mm2,
+    matrix_timing_penalty,
+    tpbuf_area_mm2,
+    area_report,
+)
+
+__all__ = [
+    "ProtectionMode",
+    "SecurityConfig",
+    "SecurityDependenceMatrix",
+    "TPBuf",
+    "TPBufEntry",
+    "HazardFilters",
+    "MissVerdict",
+    "ICacheHitFilter",
+    "AreaReport",
+    "cache_area_mm2",
+    "matrix_area_mm2",
+    "matrix_timing_penalty",
+    "tpbuf_area_mm2",
+    "area_report",
+]

@@ -1,0 +1,86 @@
+"""Protection modes and the configuration of the defense.
+
+The four modes carry the paper's evaluation names (Section VI.A):
+
+- ``ORIGIN`` - unprotected out-of-order baseline.
+- ``BASELINE`` - every security-dependent memory access is unsafe: it
+  may not issue until its security-dependence row clears.
+- ``CACHE_HIT`` - suspect accesses issue; L1D hits proceed, L1D misses
+  are discarded and re-issued once the dependence clears.
+- ``CACHE_HIT_TPBUF`` - as above, but a suspect L1D miss that does not
+  match the S-Pattern (per TPBuf) proceeds as a normal miss.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..memory.replacement import SpeculativeLRUPolicy
+
+from enum import Enum
+
+
+class ProtectionMode(Enum):
+    """Which Conditional Speculation mechanism is active."""
+
+    ORIGIN = "origin"
+    BASELINE = "baseline"
+    CACHE_HIT = "cache_hit"
+    CACHE_HIT_TPBUF = "cache_hit_tpbuf"
+
+    @property
+    def uses_matrix(self) -> bool:
+        """Whether the security dependence matrix is active at all."""
+        return self is not ProtectionMode.ORIGIN
+
+    @property
+    def uses_tpbuf(self) -> bool:
+        return self is ProtectionMode.CACHE_HIT_TPBUF
+
+    @property
+    def blocks_at_issue(self) -> bool:
+        """BASELINE blocks suspect instructions in the issue stage;
+        the filter modes let them issue and decide at the cache."""
+        return self is ProtectionMode.BASELINE
+
+
+@dataclass(frozen=True)
+class SecurityConfig:
+    """All knobs of the Conditional Speculation mechanism."""
+
+    mode: ProtectionMode = ProtectionMode.ORIGIN
+    #: LRU-metadata policy for speculative L1D hits (Section VII.A).
+    lru_policy: SpeculativeLRUPolicy = SpeculativeLRUPolicy.NORMAL
+    #: Ablation: clear a producer's matrix column when it *resolves*
+    #: (branch outcome known / store address computed) instead of the
+    #: paper's issue-time clearance.
+    clear_on_resolve: bool = False
+    #: Ablation (Section VI.C(1)): only branch instructions act as
+    #: security-dependence producers (no memory-memory edges).
+    branch_only_matrix: bool = False
+    #: Section VII.B extension: stall unsafe NPC fetches that miss L1I.
+    icache_filter: bool = False
+
+    @staticmethod
+    def origin() -> "SecurityConfig":
+        return SecurityConfig(mode=ProtectionMode.ORIGIN)
+
+    @staticmethod
+    def baseline() -> "SecurityConfig":
+        return SecurityConfig(mode=ProtectionMode.BASELINE)
+
+    @staticmethod
+    def cache_hit() -> "SecurityConfig":
+        return SecurityConfig(mode=ProtectionMode.CACHE_HIT)
+
+    @staticmethod
+    def cache_hit_tpbuf() -> "SecurityConfig":
+        return SecurityConfig(mode=ProtectionMode.CACHE_HIT_TPBUF)
+
+
+#: The four evaluation configurations of the paper, in Figure-5 order.
+EVALUATION_MODES = (
+    ProtectionMode.ORIGIN,
+    ProtectionMode.BASELINE,
+    ProtectionMode.CACHE_HIT,
+    ProtectionMode.CACHE_HIT_TPBUF,
+)

@@ -1,0 +1,114 @@
+"""The security dependence matrix (Section V.B, Figure 2).
+
+An NxN bit matrix indexed by issue-queue position.  Row X records which
+older instructions X is security-dependent on; ``Matrix[X, Y] = 1``
+means "X must not speculate past Y".  The matrix is populated at
+dispatch with the paper's formula::
+
+    Matrix[X, Y] = (X is MEMORY)
+                 & (Y is MEMORY or BRANCH)
+                 & IssueQ[Y].valid
+                 & !IssueQ[Y].issued
+
+and a producer's column is cleared through the *Update Vector
+Register*: when Y issues, its bit is staged and the column is zeroed at
+the next cycle boundary, clearing every consumer's dependence on Y.
+
+Rows are stored as Python integers used as bit vectors, which keeps the
+per-cycle work at O(1) big-int operations rather than O(N^2) Python
+loops.
+"""
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ConfigError
+from ..stats import StatGroup
+
+
+class SecurityDependenceMatrix:
+    """NxN security dependence bits plus the update vector register."""
+
+    def __init__(self, entries: int) -> None:
+        if entries <= 0:
+            raise ConfigError("matrix needs at least one entry")
+        self.entries = entries
+        self._rows: List[int] = [0] * entries
+        self._update_vector = 0  # columns staged for clearance
+        self.stats = StatGroup("security_matrix")
+
+    # ---- dispatch -----------------------------------------------------------
+
+    def set_row(self, pos: int, producer_mask: int) -> None:
+        """Install row ``pos`` at dispatch.
+
+        ``producer_mask`` has bit Y set for every issue-queue position Y
+        that satisfies the formula's Y-side conditions (valid, unissued,
+        memory-or-branch).  The X-side condition (X is a memory
+        instruction) is the caller's responsibility: non-memory
+        instructions install an all-zero row.
+        """
+        self._rows[pos] = producer_mask & ~(1 << pos)
+        if producer_mask:
+            self.stats.incr("rows_installed_nonzero")
+        else:
+            self.stats.incr("rows_installed_zero")
+
+    # ---- queries ---------------------------------------------------------------
+
+    def row(self, pos: int) -> int:
+        return self._rows[pos]
+
+    def has_dependence(self, pos: int) -> bool:
+        """Reduction-OR over row ``pos``: the *suspect speculation*
+        signal sampled when the instruction is selected for issue."""
+        return self._rows[pos] != 0
+
+    def dependence_count(self, pos: int) -> int:
+        """Population count of row ``pos`` (diagnostics)."""
+        return bin(self._rows[pos]).count("1")
+
+    # ---- clearance ----------------------------------------------------------------
+
+    def schedule_clear(self, pos: int) -> None:
+        """Stage column ``pos`` in the update vector register (called
+        when the instruction at ``pos`` issues)."""
+        self._update_vector |= 1 << pos
+
+    def apply_clears(self) -> None:
+        """End-of-cycle: zero every staged column in one pass."""
+        if not self._update_vector:
+            return
+        keep = ~self._update_vector
+        for index in range(self.entries):
+            self._rows[index] &= keep
+        self.stats.incr("columns_cleared",
+                        bin(self._update_vector).count("1"))
+        self._update_vector = 0
+
+    def clear_entry(self, pos: int) -> None:
+        """Remove ``pos`` entirely (deallocation or squash): zero its
+        row and drop it from every other row and the update vector."""
+        self._rows[pos] = 0
+        mask = ~(1 << pos)
+        for index in range(self.entries):
+            self._rows[index] &= mask
+        self._update_vector &= mask
+
+    def reset(self) -> None:
+        self._rows = [0] * self.entries
+        self._update_vector = 0
+
+    # ---- invariants (for property tests) ----------------------------------------------
+
+    def is_empty(self) -> bool:
+        return all(row == 0 for row in self._rows) and self._update_vector == 0
+
+    def column_mask(self, pos: int) -> int:
+        """Bit vector of rows that currently depend on ``pos``."""
+        bit = 1 << pos
+        mask = 0
+        for index, row in enumerate(self._rows):
+            if row & bit:
+                mask |= 1 << index
+        return mask

@@ -1,0 +1,21 @@
+"""Exception types shared across the simulator."""
+
+
+class SimulationError(Exception):
+    """Base class for all simulator errors."""
+
+
+class ConfigError(SimulationError):
+    """A configuration value is inconsistent or out of range."""
+
+
+class AssemblyError(SimulationError):
+    """The assembler rejected a source program."""
+
+
+class ExecutionError(SimulationError):
+    """The simulated program performed an illegal operation."""
+
+
+class DeadlockError(SimulationError):
+    """The pipeline made no forward progress for too many cycles."""

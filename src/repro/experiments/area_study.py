@@ -1,0 +1,49 @@
+"""Section VI.E: hardware overhead of the security dependence matrix
+and the TPBuf, via the calibrated analytic 40nm area/timing model."""
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.area_model import AreaReport, area_report
+from ..params import MachineParams, a57_like, paper_config, xeon_like
+from .formatting import percent, text_table
+
+
+def run_area_study(
+    machines: List[MachineParams] = None,
+) -> List[Tuple[str, AreaReport]]:
+    """Area/timing report for each machine's issue queue and LSQ."""
+    machines = machines if machines is not None else [
+        a57_like(), paper_config(), xeon_like(),
+    ]
+    reports = []
+    for machine in machines:
+        core = machine.core
+        reports.append((
+            machine.name,
+            area_report(
+                iq_entries=core.iq_entries,
+                lsq_entries=core.ldq_entries + core.stq_entries,
+                dispatch_width=core.dispatch_width,
+                issue_width=core.issue_width,
+            ),
+        ))
+    return reports
+
+
+def render_area_study(reports: List[Tuple[str, AreaReport]]) -> str:
+    headers = ["machine", "matrix mm^2", "tpbuf mm^2",
+               "matrix/32KB$", "tpbuf/32KB$", "timing"]
+    body = [
+        [name,
+         f"{report.matrix_mm2:.5f}",
+         f"{report.tpbuf_mm2:.5f}",
+         percent(report.matrix_vs_cache, 2),
+         percent(report.tpbuf_vs_cache, 3),
+         f"+{percent(report.timing_penalty, 2)}"]
+        for name, report in reports
+    ]
+    return text_table(
+        headers, body,
+        title="Section VI.E: hardware overhead (analytic 40nm model)",
+    )

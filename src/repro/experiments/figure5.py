@@ -1,0 +1,95 @@
+"""Figure 5: normalized execution time of the four configurations over
+the SPEC CPU 2006 suite."""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..core.policy import EVALUATION_MODES, ProtectionMode
+from ..params import MachineParams
+from ..stats import safe_div
+from ..workloads import spec_names
+from .formatting import text_table
+from .runner import average, run_modes
+
+
+@dataclass
+class Figure5Row:
+    benchmark: str
+    cycles: Dict[ProtectionMode, int]
+
+    def normalized(self, mode: ProtectionMode) -> float:
+        return safe_div(self.cycles[mode],
+                        self.cycles[ProtectionMode.ORIGIN], 1.0)
+
+    def overhead(self, mode: ProtectionMode) -> float:
+        return self.normalized(mode) - 1.0
+
+
+@dataclass
+class Figure5Result:
+    rows: List[Figure5Row] = field(default_factory=list)
+
+    def average_overhead(self, mode: ProtectionMode) -> float:
+        return average(row.overhead(mode) for row in self.rows)
+
+    def row(self, benchmark: str) -> Figure5Row:
+        for row in self.rows:
+            if row.benchmark == benchmark:
+                return row
+        raise KeyError(benchmark)
+
+    def render(self) -> str:
+        modes = [mode for mode in EVALUATION_MODES
+                 if mode is not ProtectionMode.ORIGIN]
+        headers = ["benchmark"] + [mode.value for mode in modes]
+        body = [
+            [row.benchmark] + [f"{row.normalized(mode):.3f}"
+                               for mode in modes]
+            for row in self.rows
+        ]
+        body.append(
+            ["average"] + [f"{1.0 + self.average_overhead(mode):.3f}"
+                           for mode in modes]
+        )
+        return text_table(
+            headers, body,
+            title="Figure 5: execution time normalized to Origin",
+        )
+
+    def render_bars(self, width: int = 50) -> str:
+        """ASCII bar-chart rendering of the normalized runtimes (the
+        visual shape of the paper's Figure 5)."""
+        modes = [mode for mode in EVALUATION_MODES
+                 if mode is not ProtectionMode.ORIGIN]
+        glyphs = {"baseline": "#", "cache_hit": "+", "cache_hit_tpbuf": "="}
+        peak = max(
+            (row.normalized(mode) for row in self.rows for mode in modes),
+            default=1.0,
+        )
+        scale = width / max(peak, 1.0)
+        lines = ["Figure 5 (bar view; 'origin' = full width "
+                 f"{'|' * int(round(scale))}...)"]
+        for row in self.rows:
+            lines.append(f"{row.benchmark}")
+            for mode in modes:
+                value = row.normalized(mode)
+                bar = glyphs[mode.value] * int(round(value * scale))
+                lines.append(f"  {mode.value[:9]:<9} {bar} {value:.2f}")
+        return "\n".join(lines)
+
+
+def run_figure5(
+    benchmarks: Optional[Iterable[str]] = None,
+    machine: Optional[MachineParams] = None,
+    scale: float = 1.0,
+) -> Figure5Result:
+    """Regenerate Figure 5 (normalized runtime, 4 modes x suite)."""
+    result = Figure5Result()
+    for name in benchmarks or spec_names():
+        reports = run_modes(name, machine=machine, scale=scale)
+        result.rows.append(Figure5Row(
+            benchmark=name,
+            cycles={mode: report.cycles for mode, report in reports.items()},
+        ))
+    return result

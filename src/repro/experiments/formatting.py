@@ -1,0 +1,36 @@
+"""Plain-text table rendering shared by all experiment drivers."""
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def percent(value: float, digits: int = 1) -> str:
+    """0.128 -> '12.8%'."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def text_table(headers: Sequence[str], rows: Iterable[Sequence[str]],
+               title: str = "") -> str:
+    """Render an aligned text table (first column left, rest right)."""
+    materialized: List[List[str]] = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if index == 0:
+                parts.append(str(cell).ljust(widths[index]))
+            else:
+                parts.append(str(cell).rjust(widths[index]))
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in materialized)
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Shared simulation driver for the performance experiments."""
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from ..core.policy import EVALUATION_MODES, ProtectionMode, SecurityConfig
+from ..params import MachineParams, paper_config
+from ..pipeline.processor import Processor
+from ..pipeline.report import SimReport
+from ..stats import safe_div
+from ..workloads import spec_names, spec_program
+
+DEFAULT_MAX_CYCLES = 8_000_000
+
+
+def run_benchmark(
+    name: str,
+    machine: Optional[MachineParams] = None,
+    security: Optional[SecurityConfig] = None,
+    scale: float = 1.0,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
+) -> SimReport:
+    """Simulate one SPEC profile under one configuration."""
+    machine = machine if machine is not None else paper_config()
+    security = security if security is not None else SecurityConfig.origin()
+    program = spec_program(name, scale=scale)
+    cpu = Processor(program, machine=machine, security=security)
+    report = cpu.run(max_cycles=max_cycles)
+    report.name = name
+    return report
+
+
+def run_modes(
+    name: str,
+    machine: Optional[MachineParams] = None,
+    modes: Sequence[ProtectionMode] = EVALUATION_MODES,
+    scale: float = 1.0,
+) -> Dict[ProtectionMode, SimReport]:
+    """Simulate one benchmark under several protection modes."""
+    return {
+        mode: run_benchmark(
+            name, machine=machine, security=SecurityConfig(mode=mode),
+            scale=scale,
+        )
+        for mode in modes
+    }
+
+
+def suite_overheads(
+    modes: Sequence[ProtectionMode],
+    machine: Optional[MachineParams] = None,
+    benchmarks: Optional[Iterable[str]] = None,
+    scale: float = 1.0,
+) -> Dict[str, Dict[ProtectionMode, float]]:
+    """Per-benchmark overhead (vs Origin) for each requested mode."""
+    result: Dict[str, Dict[ProtectionMode, float]] = {}
+    for name in benchmarks or spec_names():
+        reports = run_modes(
+            name, machine=machine,
+            modes=[ProtectionMode.ORIGIN, *modes], scale=scale,
+        )
+        origin_cycles = reports[ProtectionMode.ORIGIN].cycles
+        result[name] = {
+            mode: safe_div(reports[mode].cycles, origin_cycles, 1.0) - 1.0
+            for mode in modes
+        }
+    return result
+
+
+def average(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

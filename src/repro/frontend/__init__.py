@@ -1,0 +1,4 @@
+"""Front-end components: branch prediction."""
+from .branch_predictor import BranchPredictor, Prediction
+
+__all__ = ["BranchPredictor", "Prediction"]

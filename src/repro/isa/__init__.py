@@ -1,0 +1,33 @@
+"""A small RISC-style ISA for the simulator.
+
+The ISA provides exactly the primitives Spectre gadgets and the
+Conditional Speculation defense care about: ALU ops, loads/stores,
+conditional and indirect branches, cache-line flush, a serializing
+fence, and a serializing cycle-counter read (``RDCYCLE``) used by the
+in-simulator side-channel receivers.
+"""
+from .instructions import (
+    INSTRUCTION_BYTES,
+    Instruction,
+    Opcode,
+    OpClass,
+    WORD_BYTES,
+)
+from .program import InstructionMemory, Program
+from .builder import ProgramBuilder
+from .assembler import assemble
+from .oracle import OracleResult, run_oracle
+
+__all__ = [
+    "INSTRUCTION_BYTES",
+    "WORD_BYTES",
+    "Instruction",
+    "Opcode",
+    "OpClass",
+    "Program",
+    "InstructionMemory",
+    "ProgramBuilder",
+    "assemble",
+    "OracleResult",
+    "run_oracle",
+]

@@ -1,0 +1,173 @@
+"""A tiny text assembler for the simulator's ISA.
+
+The format mirrors the PoC listings in the paper closely enough to
+transcribe them.  Supported syntax::
+
+    ; comment            # comment
+    label:
+        li    r1, 0x40
+        addi  r1, r1, -8
+        load  r2, r1, 16     ; r2 = mem[r1 + 16]
+        store r2, r1, 0      ; mem[r1 + 0] = r2
+        beq   r1, r0, done
+        jmp   loop
+        clflush r3, 0
+        fence
+        rdcycle r9
+        halt
+    .data 0x2000
+        .word 1, 2, 0xff
+
+Registers are ``r0``..``r31`` (``r0`` is hardwired to zero).  Immediates
+accept decimal and ``0x`` hex with optional sign.
+"""
+from __future__ import annotations
+
+import re
+from typing import List
+
+from ..errors import AssemblyError
+from .builder import ProgramBuilder
+from .instructions import WORD_BYTES
+from .program import Program
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):$")
+_REG_RE = re.compile(r"^r([0-9]|[12][0-9]|3[01])$")
+
+_ALU3 = {"add", "sub", "mul", "div", "and", "or", "xor", "shl", "shr"}
+_ALUI = {"addi", "andi", "xori", "shli", "shri"}
+_BRANCH = {"beq", "bne", "blt", "bge"}
+
+
+def _parse_reg(token: str, line_no: int) -> int:
+    match = _REG_RE.match(token)
+    if not match:
+        raise AssemblyError(f"line {line_no}: expected register, got {token!r}")
+    return int(match.group(1))
+
+
+def _parse_int(token: str, line_no: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(
+            f"line {line_no}: expected integer, got {token!r}"
+        ) from None
+
+
+def _split_operands(rest: str) -> List[str]:
+    rest = rest.strip()
+    if not rest:
+        return []
+    return [part.strip() for part in rest.split(",")]
+
+
+def assemble(source: str, base_address: int = 0x1000) -> Program:
+    """Assemble ``source`` into a :class:`Program`."""
+    builder = ProgramBuilder(base_address=base_address)
+    data_cursor = None
+
+    for line_no, raw_line in enumerate(source.splitlines(), start=1):
+        line = raw_line.split(";")[0].split("#")[0].strip()
+        if not line:
+            continue
+
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            builder.label(label_match.group(1))
+            continue
+
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = _split_operands(parts[1]) if len(parts) > 1 else []
+
+        if mnemonic == ".data":
+            if len(operands) != 1:
+                raise AssemblyError(f"line {line_no}: .data needs an address")
+            data_cursor = _parse_int(operands[0], line_no)
+            continue
+        if mnemonic == ".word":
+            if data_cursor is None:
+                raise AssemblyError(f"line {line_no}: .word before .data")
+            for token in operands:
+                builder.data_word(data_cursor, _parse_int(token, line_no))
+                data_cursor += WORD_BYTES
+            continue
+
+        if mnemonic in _ALU3:
+            if len(operands) != 3:
+                raise AssemblyError(f"line {line_no}: {mnemonic} needs 3 operands")
+            rd, rs1, rs2 = (_parse_reg(t, line_no) for t in operands)
+            method = {"and": "and_", "or": "or_"}.get(mnemonic, mnemonic)
+            getattr(builder, method)(rd, rs1, rs2)
+        elif mnemonic in _ALUI:
+            if len(operands) != 3:
+                raise AssemblyError(f"line {line_no}: {mnemonic} needs 3 operands")
+            rd = _parse_reg(operands[0], line_no)
+            rs1 = _parse_reg(operands[1], line_no)
+            imm = _parse_int(operands[2], line_no)
+            getattr(builder, mnemonic)(rd, rs1, imm)
+        elif mnemonic == "li":
+            rd = _parse_reg(operands[0], line_no)
+            builder.li(rd, _parse_int(operands[1], line_no))
+        elif mnemonic == "mov":
+            rd = _parse_reg(operands[0], line_no)
+            builder.mov(rd, _parse_reg(operands[1], line_no))
+        elif mnemonic == "load":
+            if len(operands) not in (2, 3):
+                raise AssemblyError(f"line {line_no}: load rd, rs1[, imm]")
+            rd = _parse_reg(operands[0], line_no)
+            rs1 = _parse_reg(operands[1], line_no)
+            imm = _parse_int(operands[2], line_no) if len(operands) == 3 else 0
+            builder.load(rd, rs1, imm)
+        elif mnemonic == "store":
+            if len(operands) not in (2, 3):
+                raise AssemblyError(f"line {line_no}: store rs2, rs1[, imm]")
+            rs2 = _parse_reg(operands[0], line_no)
+            rs1 = _parse_reg(operands[1], line_no)
+            imm = _parse_int(operands[2], line_no) if len(operands) == 3 else 0
+            builder.store(rs2, rs1, imm)
+        elif mnemonic == "clflush":
+            rs1 = _parse_reg(operands[0], line_no)
+            imm = _parse_int(operands[1], line_no) if len(operands) > 1 else 0
+            builder.clflush(rs1, imm)
+        elif mnemonic in _BRANCH:
+            if len(operands) != 3:
+                raise AssemblyError(f"line {line_no}: {mnemonic} rs1, rs2, target")
+            rs1 = _parse_reg(operands[0], line_no)
+            rs2 = _parse_reg(operands[1], line_no)
+            target = operands[2]
+            getattr(builder, mnemonic)(
+                rs1, rs2,
+                _parse_int(target, line_no) if target[0].isdigit() else target,
+            )
+        elif mnemonic == "jmp":
+            target = operands[0]
+            builder.jmp(
+                _parse_int(target, line_no) if target[0].isdigit() else target
+            )
+        elif mnemonic == "jmpi":
+            builder.jmpi(_parse_reg(operands[0], line_no))
+        elif mnemonic == "call":
+            target = operands[0]
+            builder.call(
+                _parse_int(target, line_no) if target[0].isdigit()
+                else target
+            )
+        elif mnemonic == "ret":
+            if operands:
+                builder.ret(_parse_reg(operands[0], line_no))
+            else:
+                builder.ret()
+        elif mnemonic == "fence":
+            builder.fence()
+        elif mnemonic == "rdcycle":
+            builder.rdcycle(_parse_reg(operands[0], line_no))
+        elif mnemonic == "nop":
+            builder.nop()
+        elif mnemonic == "halt":
+            builder.halt()
+        else:
+            raise AssemblyError(f"line {line_no}: unknown mnemonic {mnemonic!r}")
+
+    return builder.build()

@@ -1,0 +1,242 @@
+"""Fluent program builder.
+
+All gadgets, workload generators and tests construct programs through
+this builder; branch targets may be label names which are resolved at
+:meth:`ProgramBuilder.build` time.
+
+Example::
+
+    b = ProgramBuilder()
+    b.li(1, 10)
+    b.label("loop")
+    b.addi(1, 1, -1)
+    b.bne(1, 0, "loop")
+    b.halt()
+    program = b.build()
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import AssemblyError
+from .instructions import INSTRUCTION_BYTES, WORD_BYTES, Instruction, Opcode
+from .program import Program
+
+Target = Union[int, str]
+
+
+class ProgramBuilder:
+    """Builds a :class:`Program` one instruction at a time."""
+
+    def __init__(self, base_address: int = 0x1000) -> None:
+        self._base = base_address
+        self._instructions: List[Tuple[Instruction, Optional[str]]] = []
+        self._labels: Dict[str, int] = {}
+        self._memory: Dict[int, int] = {}
+
+    # ---- layout ---------------------------------------------------------
+
+    @property
+    def next_address(self) -> int:
+        """Address the next emitted instruction will occupy."""
+        return self._base + len(self._instructions) * INSTRUCTION_BYTES
+
+    def align(self, boundary: int) -> "ProgramBuilder":
+        """Pad with NOPs to the next ``boundary``-byte boundary (e.g. a
+        cache line, so a timed code block fetches as one line)."""
+        if boundary % INSTRUCTION_BYTES != 0:
+            raise AssemblyError("alignment must be a multiple of 4")
+        while self.next_address % boundary != 0:
+            self.nop()
+        return self
+
+    def label(self, name: str) -> "ProgramBuilder":
+        """Define ``name`` at the current address."""
+        if name in self._labels:
+            raise AssemblyError(f"label {name!r} defined twice")
+        self._labels[name] = self.next_address
+        return self
+
+    def data_word(self, address: int, value: int) -> "ProgramBuilder":
+        """Place a 64-bit word in the initial data image."""
+        if address % WORD_BYTES != 0:
+            raise AssemblyError(f"data address {address:#x} not word aligned")
+        self._memory[address] = value & ((1 << 64) - 1)
+        return self
+
+    def data_words(self, address: int, values) -> "ProgramBuilder":
+        """Place consecutive words starting at ``address``."""
+        for offset, value in enumerate(values):
+            self.data_word(address + offset * WORD_BYTES, value)
+        return self
+
+    def _emit(self, instruction: Instruction,
+              pending_target: Optional[str] = None) -> "ProgramBuilder":
+        self._instructions.append((instruction, pending_target))
+        return self
+
+    # ---- ALU -------------------------------------------------------------
+
+    def add(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self._emit(Instruction(Opcode.ADD, rd=rd, rs1=rs1, rs2=rs2))
+
+    def sub(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self._emit(Instruction(Opcode.SUB, rd=rd, rs1=rs1, rs2=rs2))
+
+    def mul(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self._emit(Instruction(Opcode.MUL, rd=rd, rs1=rs1, rs2=rs2))
+
+    def div(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self._emit(Instruction(Opcode.DIV, rd=rd, rs1=rs1, rs2=rs2))
+
+    def and_(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self._emit(Instruction(Opcode.AND, rd=rd, rs1=rs1, rs2=rs2))
+
+    def or_(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self._emit(Instruction(Opcode.OR, rd=rd, rs1=rs1, rs2=rs2))
+
+    def xor(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self._emit(Instruction(Opcode.XOR, rd=rd, rs1=rs1, rs2=rs2))
+
+    def shl(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self._emit(Instruction(Opcode.SHL, rd=rd, rs1=rs1, rs2=rs2))
+
+    def shr(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self._emit(Instruction(Opcode.SHR, rd=rd, rs1=rs1, rs2=rs2))
+
+    def addi(self, rd: int, rs1: int, imm: int) -> "ProgramBuilder":
+        return self._emit(Instruction(Opcode.ADDI, rd=rd, rs1=rs1, imm=imm))
+
+    def andi(self, rd: int, rs1: int, imm: int) -> "ProgramBuilder":
+        return self._emit(Instruction(Opcode.ANDI, rd=rd, rs1=rs1, imm=imm))
+
+    def xori(self, rd: int, rs1: int, imm: int) -> "ProgramBuilder":
+        return self._emit(Instruction(Opcode.XORI, rd=rd, rs1=rs1, imm=imm))
+
+    def shli(self, rd: int, rs1: int, imm: int) -> "ProgramBuilder":
+        return self._emit(Instruction(Opcode.SHLI, rd=rd, rs1=rs1, imm=imm))
+
+    def shri(self, rd: int, rs1: int, imm: int) -> "ProgramBuilder":
+        return self._emit(Instruction(Opcode.SHRI, rd=rd, rs1=rs1, imm=imm))
+
+    def li(self, rd: int, imm: int) -> "ProgramBuilder":
+        return self._emit(Instruction(Opcode.LI, rd=rd, imm=imm))
+
+    def li_label(self, rd: int, label: str) -> "ProgramBuilder":
+        """Load the (resolved-at-build-time) address of a label."""
+        return self._emit(Instruction(Opcode.LI, rd=rd),
+                          pending_target=f"imm:{label}")
+
+    def mov(self, rd: int, rs1: int) -> "ProgramBuilder":
+        return self._emit(Instruction(Opcode.MOV, rd=rd, rs1=rs1))
+
+    # ---- memory -----------------------------------------------------------
+
+    def load(self, rd: int, rs1: int, imm: int = 0,
+             note: str = "") -> "ProgramBuilder":
+        return self._emit(
+            Instruction(Opcode.LOAD, rd=rd, rs1=rs1, imm=imm, note=note)
+        )
+
+    def store(self, rs2: int, rs1: int, imm: int = 0,
+              note: str = "") -> "ProgramBuilder":
+        return self._emit(
+            Instruction(Opcode.STORE, rs1=rs1, rs2=rs2, imm=imm, note=note)
+        )
+
+    def clflush(self, rs1: int, imm: int = 0) -> "ProgramBuilder":
+        return self._emit(Instruction(Opcode.CLFLUSH, rs1=rs1, imm=imm))
+
+    # ---- control ------------------------------------------------------------
+
+    def _branch(self, op: Opcode, rs1: int, rs2: int,
+                target: Target) -> "ProgramBuilder":
+        if isinstance(target, str):
+            return self._emit(
+                Instruction(op, rs1=rs1, rs2=rs2), pending_target=target
+            )
+        return self._emit(Instruction(op, rs1=rs1, rs2=rs2, target=target))
+
+    def beq(self, rs1: int, rs2: int, target: Target) -> "ProgramBuilder":
+        return self._branch(Opcode.BEQ, rs1, rs2, target)
+
+    def bne(self, rs1: int, rs2: int, target: Target) -> "ProgramBuilder":
+        return self._branch(Opcode.BNE, rs1, rs2, target)
+
+    def blt(self, rs1: int, rs2: int, target: Target) -> "ProgramBuilder":
+        return self._branch(Opcode.BLT, rs1, rs2, target)
+
+    def bge(self, rs1: int, rs2: int, target: Target) -> "ProgramBuilder":
+        return self._branch(Opcode.BGE, rs1, rs2, target)
+
+    def jmp(self, target: Target) -> "ProgramBuilder":
+        if isinstance(target, str):
+            return self._emit(Instruction(Opcode.JMP), pending_target=target)
+        return self._emit(Instruction(Opcode.JMP, target=target))
+
+    def jmpi(self, rs1: int) -> "ProgramBuilder":
+        return self._emit(Instruction(Opcode.JMPI, rs1=rs1))
+
+    def call(self, target: Target, rd: int = 31) -> "ProgramBuilder":
+        """Call: jump to ``target`` and write the return address (the
+        next instruction) into ``rd`` (the link register, default r31).
+        Fetch pushes the return address onto the RAS."""
+        if isinstance(target, str):
+            return self._emit(Instruction(Opcode.CALL, rd=rd),
+                              pending_target=target)
+        return self._emit(Instruction(Opcode.CALL, rd=rd, target=target))
+
+    def ret(self, rs1: int = 31) -> "ProgramBuilder":
+        """Return: indirect jump through ``rs1`` (default r31),
+        predicted by the return-address stack rather than the BTB."""
+        return self._emit(Instruction(Opcode.RET, rs1=rs1))
+
+    # ---- misc ---------------------------------------------------------------
+
+    def fence(self) -> "ProgramBuilder":
+        return self._emit(Instruction(Opcode.FENCE))
+
+    def rdcycle(self, rd: int) -> "ProgramBuilder":
+        return self._emit(Instruction(Opcode.RDCYCLE, rd=rd))
+
+    def nop(self, count: int = 1) -> "ProgramBuilder":
+        for _ in range(count):
+            self._emit(Instruction(Opcode.NOP))
+        return self
+
+    def halt(self) -> "ProgramBuilder":
+        return self._emit(Instruction(Opcode.HALT))
+
+    def raw(self, instruction: Instruction) -> "ProgramBuilder":
+        """Emit a pre-built instruction verbatim."""
+        return self._emit(instruction)
+
+    # ---- finalize -------------------------------------------------------------
+
+    def build(self, entry_point: Optional[int] = None) -> Program:
+        """Resolve labels and produce an immutable :class:`Program`."""
+        resolved: List[Instruction] = []
+        for instruction, pending in self._instructions:
+            if pending is not None:
+                as_immediate = pending.startswith("imm:")
+                name = pending[4:] if as_immediate else pending
+                if name not in self._labels:
+                    raise AssemblyError(f"undefined label {name!r}")
+                address = self._labels[name]
+                instruction = Instruction(
+                    instruction.op,
+                    rd=instruction.rd,
+                    rs1=instruction.rs1,
+                    rs2=instruction.rs2,
+                    imm=address if as_immediate else instruction.imm,
+                    target=instruction.target if as_immediate else address,
+                    note=instruction.note,
+                )
+            resolved.append(instruction)
+        return Program(
+            instructions=resolved,
+            base_address=self._base,
+            labels=dict(self._labels),
+            initial_memory=dict(self._memory),
+            entry_point=entry_point,
+        )

@@ -1,0 +1,278 @@
+"""Instruction set definition.
+
+Every instruction occupies :data:`INSTRUCTION_BYTES` in the instruction
+address space and operates on 64-bit registers.  Memory is word
+addressed at :data:`WORD_BYTES` granularity (loads and stores align
+their effective address down to a word boundary).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Optional, Tuple
+
+INSTRUCTION_BYTES = 4
+WORD_BYTES = 8
+WORD_MASK = (1 << 64) - 1
+
+
+class OpClass(Enum):
+    """Coarse classification used by the issue queue and the security
+    dependence matrix (the paper distinguishes MEMORY and BRANCH)."""
+
+    ALU = auto()
+    LOAD = auto()
+    STORE = auto()
+    BRANCH = auto()
+    FLUSH = auto()
+    FENCE = auto()
+    CSR = auto()   # RDCYCLE
+    NOP = auto()
+    HALT = auto()
+
+
+class Opcode(Enum):
+    """All opcodes understood by the core and the oracle."""
+
+    # Register-register ALU.
+    ADD = auto()
+    SUB = auto()
+    MUL = auto()
+    DIV = auto()
+    AND = auto()
+    OR = auto()
+    XOR = auto()
+    SHL = auto()
+    SHR = auto()
+    # Register-immediate ALU.
+    ADDI = auto()
+    ANDI = auto()
+    XORI = auto()
+    SHLI = auto()
+    SHRI = auto()
+    LI = auto()
+    MOV = auto()
+    # Memory.
+    LOAD = auto()
+    STORE = auto()
+    CLFLUSH = auto()
+    # Control.
+    BEQ = auto()
+    BNE = auto()
+    BLT = auto()
+    BGE = auto()
+    JMP = auto()
+    JMPI = auto()
+    CALL = auto()
+    RET = auto()
+    # Serializing / misc.
+    FENCE = auto()
+    RDCYCLE = auto()
+    NOP = auto()
+    HALT = auto()
+
+
+_REG_REG_ALU = {
+    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV,
+    Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHR,
+}
+_REG_IMM_ALU = {
+    Opcode.ADDI, Opcode.ANDI, Opcode.XORI, Opcode.SHLI, Opcode.SHRI,
+    Opcode.MOV,
+}
+_COND_BRANCHES = {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE}
+
+_OPCLASS = {
+    Opcode.LOAD: OpClass.LOAD,
+    Opcode.STORE: OpClass.STORE,
+    Opcode.CLFLUSH: OpClass.FLUSH,
+    Opcode.FENCE: OpClass.FENCE,
+    Opcode.RDCYCLE: OpClass.CSR,
+    Opcode.NOP: OpClass.NOP,
+    Opcode.HALT: OpClass.HALT,
+    Opcode.JMP: OpClass.BRANCH,
+    Opcode.JMPI: OpClass.BRANCH,
+    Opcode.CALL: OpClass.BRANCH,
+    Opcode.RET: OpClass.BRANCH,
+}
+for _op in _COND_BRANCHES:
+    _OPCLASS[_op] = OpClass.BRANCH
+for _op in _REG_REG_ALU | _REG_IMM_ALU | {Opcode.LI}:
+    _OPCLASS[_op] = OpClass.ALU
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One static instruction.
+
+    Fields are interpreted per opcode:
+
+    - ALU reg-reg: ``rd = rs1 OP rs2``
+    - ALU reg-imm: ``rd = rs1 OP imm`` (``MOV`` copies ``rs1``)
+    - ``LI``: ``rd = imm``
+    - ``LOAD``: ``rd = mem[R[rs1] + imm]``
+    - ``STORE``: ``mem[R[rs1] + imm] = R[rs2]``
+    - ``CLFLUSH``: flush the line containing ``R[rs1] + imm``
+    - conditional branches: compare ``rs1`` and ``rs2``, jump to ``target``
+    - ``JMP``: jump to ``target``; ``JMPI``: jump to ``R[rs1]``
+    - ``RDCYCLE``: ``rd = current cycle`` (serializing)
+    """
+
+    op: Opcode
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    target: int = 0
+    # Optional label carried for diagnostics / disassembly.
+    note: str = ""
+
+    # ---- classification ------------------------------------------------
+
+    @property
+    def opclass(self) -> OpClass:
+        return _OPCLASS[self.op]
+
+    @property
+    def is_load(self) -> bool:
+        return self.op is Opcode.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op is Opcode.STORE
+
+    @property
+    def is_flush(self) -> bool:
+        return self.op is Opcode.CLFLUSH
+
+    @property
+    def is_memory(self) -> bool:
+        """Memory instruction in the sense of the security dependence
+        matrix formula (loads, stores and line flushes)."""
+        return self.op in (Opcode.LOAD, Opcode.STORE, Opcode.CLFLUSH)
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opclass is OpClass.BRANCH
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        return self.op in _COND_BRANCHES
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.op in (Opcode.JMPI, Opcode.RET)
+
+    @property
+    def is_call(self) -> bool:
+        return self.op is Opcode.CALL
+
+    @property
+    def is_return(self) -> bool:
+        return self.op is Opcode.RET
+
+    @property
+    def is_serializing(self) -> bool:
+        """Instructions that only issue from the head of the ROB."""
+        return self.op in (Opcode.FENCE, Opcode.RDCYCLE)
+
+    # ---- register usage ------------------------------------------------
+
+    @property
+    def dest(self) -> Optional[int]:
+        """Destination architectural register, if any (R0 writes are
+        discarded by the core, but still rename for simplicity)."""
+        if self.op in _REG_REG_ALU or self.op in _REG_IMM_ALU:
+            return self.rd
+        if self.op in (Opcode.LI, Opcode.LOAD, Opcode.RDCYCLE,
+                       Opcode.CALL):
+            return self.rd
+        return None
+
+    @property
+    def sources(self) -> Tuple[int, ...]:
+        """Architectural source registers, in operand order."""
+        if self.op in _REG_REG_ALU:
+            return (self.rs1, self.rs2)
+        if self.op in _REG_IMM_ALU:
+            return (self.rs1,)
+        if self.op is Opcode.LOAD:
+            return (self.rs1,)
+        if self.op is Opcode.STORE:
+            return (self.rs1, self.rs2)
+        if self.op is Opcode.CLFLUSH:
+            return (self.rs1,)
+        if self.op in _COND_BRANCHES:
+            return (self.rs1, self.rs2)
+        if self.op in (Opcode.JMPI, Opcode.RET):
+            return (self.rs1,)
+        return ()
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [self.op.name.lower()]
+        if self.dest is not None:
+            parts.append(f"r{self.rd},")
+        if self.sources:
+            parts.append(", ".join(f"r{r}" for r in self.sources))
+        if self.op in _REG_IMM_ALU or self.op in (
+            Opcode.LI, Opcode.LOAD, Opcode.STORE, Opcode.CLFLUSH
+        ):
+            parts.append(f"#{self.imm}")
+        if self.is_branch and not self.is_indirect:
+            parts.append(f"@{self.target:#x}")
+        if self.note:
+            parts.append(f"; {self.note}")
+        return " ".join(parts)
+
+
+def mask64(value: int) -> int:
+    """Truncate to 64 bits (unsigned)."""
+    return value & WORD_MASK
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 64-bit pattern as a signed integer."""
+    value = mask64(value)
+    if value >= 1 << 63:
+        return value - (1 << 64)
+    return value
+
+
+def evaluate_alu(op: Opcode, a: int, b: int) -> int:
+    """Compute a reg-reg or reg-imm ALU result (inputs already 64-bit)."""
+    if op in (Opcode.ADD, Opcode.ADDI):
+        return mask64(a + b)
+    if op is Opcode.SUB:
+        return mask64(a - b)
+    if op is Opcode.MUL:
+        return mask64(a * b)
+    if op is Opcode.DIV:
+        if b == 0:
+            return WORD_MASK
+        return mask64(a // b)
+    if op in (Opcode.AND, Opcode.ANDI):
+        return mask64(a & b)
+    if op is Opcode.OR:
+        return mask64(a | b)
+    if op in (Opcode.XOR, Opcode.XORI):
+        return mask64(a ^ b)
+    if op in (Opcode.SHL, Opcode.SHLI):
+        return mask64(a << (b & 63))
+    if op in (Opcode.SHR, Opcode.SHRI):
+        return mask64(a) >> (b & 63)
+    if op is Opcode.MOV:
+        return mask64(a)
+    raise ValueError(f"not an ALU opcode: {op}")
+
+
+def branch_taken(op: Opcode, a: int, b: int) -> bool:
+    """Evaluate a conditional branch (BLT/BGE compare signed)."""
+    if op is Opcode.BEQ:
+        return mask64(a) == mask64(b)
+    if op is Opcode.BNE:
+        return mask64(a) != mask64(b)
+    if op is Opcode.BLT:
+        return to_signed(a) < to_signed(b)
+    if op is Opcode.BGE:
+        return to_signed(a) >= to_signed(b)
+    raise ValueError(f"not a conditional branch: {op}")

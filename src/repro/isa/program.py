@@ -1,0 +1,121 @@
+"""Program container and instruction memory.
+
+A :class:`Program` is a list of instructions laid out at a base address
+plus an initial data image (word address -> 64-bit value).  The
+:class:`InstructionMemory` view is what the fetch stage reads; fetches
+from unmapped addresses decode as ``NOP`` so that wrong-path fetch can
+run ahead harmlessly until the mispredicted branch squashes it, the way
+real front ends fetch garbage past a misprediction.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import SimulationError
+from .instructions import INSTRUCTION_BYTES, WORD_BYTES, Instruction, Opcode
+
+_NOP = Instruction(Opcode.NOP)
+
+
+@dataclass
+class Program:
+    """A fully resolved program image."""
+
+    instructions: List[Instruction]
+    base_address: int = 0x1000
+    labels: Dict[str, int] = field(default_factory=dict)
+    initial_memory: Dict[int, int] = field(default_factory=dict)
+    entry_point: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.base_address % INSTRUCTION_BYTES != 0:
+            raise SimulationError("program base address must be aligned")
+        if self.entry_point is None:
+            self.entry_point = self.base_address
+        for address in self.initial_memory:
+            if address % WORD_BYTES != 0:
+                raise SimulationError(
+                    f"initial memory address {address:#x} is not word aligned"
+                )
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def address_of(self, index: int) -> int:
+        """Instruction address of the ``index``-th instruction."""
+        return self.base_address + index * INSTRUCTION_BYTES
+
+    @property
+    def end_address(self) -> int:
+        return self.address_of(len(self.instructions))
+
+    def label(self, name: str) -> int:
+        """Address of a label defined by the builder/assembler."""
+        try:
+            return self.labels[name]
+        except KeyError:
+            raise SimulationError(f"unknown label {name!r}") from None
+
+    def instruction_at(self, address: int) -> Optional[Instruction]:
+        """The instruction at ``address`` or ``None`` if unmapped."""
+        offset = address - self.base_address
+        if offset < 0 or offset % INSTRUCTION_BYTES != 0:
+            return None
+        index = offset // INSTRUCTION_BYTES
+        if index >= len(self.instructions):
+            return None
+        return self.instructions[index]
+
+    def iter_addressed(self) -> Iterator[Tuple[int, Instruction]]:
+        for index, instruction in enumerate(self.instructions):
+            yield self.address_of(index), instruction
+
+    def listing(self) -> str:
+        """Human-readable disassembly with label annotations."""
+        by_address: Dict[int, List[str]] = {}
+        for name, address in self.labels.items():
+            by_address.setdefault(address, []).append(name)
+        lines = []
+        for address, instruction in self.iter_addressed():
+            for name in by_address.get(address, ()):
+                lines.append(f"{name}:")
+            lines.append(f"  {address:#06x}  {instruction}")
+        return "\n".join(lines)
+
+
+class InstructionMemory:
+    """Fetch-side view of a program (or several disjoint programs)."""
+
+    def __init__(self, *programs: Program) -> None:
+        self._map: Dict[int, Instruction] = {}
+        self._programs: List[Program] = []
+        for program in programs:
+            self.add(program)
+
+    def add(self, program: Program) -> None:
+        for address, instruction in program.iter_addressed():
+            if address in self._map:
+                raise SimulationError(
+                    f"instruction address overlap at {address:#x}"
+                )
+            self._map[address] = instruction
+        self._programs.append(program)
+
+    def fetch(self, address: int) -> Instruction:
+        """Instruction at ``address``; unmapped addresses decode as NOP."""
+        return self._map.get(address, _NOP)
+
+    def is_mapped(self, address: int) -> bool:
+        return address in self._map
+
+    @property
+    def programs(self) -> List[Program]:
+        return list(self._programs)
+
+    def initial_memory(self) -> Dict[int, int]:
+        """Union of all programs' initial data images."""
+        image: Dict[int, int] = {}
+        for program in self._programs:
+            image.update(program.initial_memory)
+        return image

@@ -1,0 +1,169 @@
+"""A physically indexed, physically tagged set-associative cache."""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..params import CacheParams
+from ..stats import StatGroup
+from .replacement import LRUState
+
+
+@dataclass
+class CacheAccess:
+    """Outcome of one cache lookup-with-fill."""
+
+    hit: bool
+    evicted_line_addr: Optional[int] = None
+
+
+class SetAssociativeCache:
+    """One cache level.
+
+    All addresses handed to the cache are *physical* byte addresses;
+    the cache reasons at line granularity.  The cache tracks no data
+    (functional values live in the architectural memory image); it only
+    models presence, which is all the side channel and the defense need.
+    """
+
+    def __init__(self, params: CacheParams) -> None:
+        self.params = params
+        self.stats = StatGroup(params.name)
+        self._line_shift = params.line_bytes.bit_length() - 1
+        self._num_sets = params.num_sets
+        self._set_mask = self._num_sets - 1
+        self._tags: List[List[Optional[int]]] = [
+            [None] * params.ways for _ in range(self._num_sets)
+        ]
+        self._lru: List[LRUState] = [
+            LRUState(params.ways) for _ in range(self._num_sets)
+        ]
+
+    # ---- address helpers -------------------------------------------------
+
+    def line_address(self, address: int) -> int:
+        return address >> self._line_shift << self._line_shift
+
+    def set_index(self, address: int) -> int:
+        return (address >> self._line_shift) & self._set_mask
+
+    def _tag(self, address: int) -> int:
+        return address >> self._line_shift >> (self._num_sets.bit_length() - 1)
+
+    def _find_way(self, address: int) -> Optional[int]:
+        tag = self._tag(address)
+        for way, stored in enumerate(self._tags[self.set_index(address)]):
+            if stored == tag:
+                return way
+        return None
+
+    # ---- queries (no state change) ----------------------------------------
+
+    def contains(self, address: int) -> bool:
+        """Presence probe; never perturbs replacement state."""
+        return self._find_way(address) is not None
+
+    def lines_in_set(self, set_index: int) -> List[Optional[int]]:
+        """Line addresses currently resident in ``set_index`` (None for
+        invalid ways); used by eviction-set tooling and tests."""
+        result: List[Optional[int]] = []
+        for tag in self._tags[set_index]:
+            if tag is None:
+                result.append(None)
+            else:
+                result.append(
+                    ((tag << (self._num_sets.bit_length() - 1)) | set_index)
+                    << self._line_shift
+                )
+        return result
+
+    @property
+    def num_sets(self) -> int:
+        return self._num_sets
+
+    @property
+    def ways(self) -> int:
+        return self.params.ways
+
+    # ---- state-changing operations ------------------------------------------
+
+    def lookup(self, address: int, update_lru: bool = True) -> bool:
+        """Lookup without fill.  Returns hit/miss."""
+        way = self._find_way(address)
+        if way is None:
+            self.stats.incr("misses")
+            return False
+        self.stats.incr("hits")
+        if update_lru:
+            self._lru[self.set_index(address)].touch(way)
+        return True
+
+    def touch(self, address: int) -> bool:
+        """Apply only the LRU update for a line (the DELAYED policy's
+        commit-time action).  Returns False if the line is gone."""
+        way = self._find_way(address)
+        if way is None:
+            return False
+        self._lru[self.set_index(address)].touch(way)
+        return True
+
+    def fill(self, address: int) -> Optional[int]:
+        """Insert the line containing ``address``; returns the evicted
+        line address, if any.  Filling a resident line just refreshes
+        its recency."""
+        set_index = self.set_index(address)
+        way = self._find_way(address)
+        if way is not None:
+            self._lru[set_index].touch(way)
+            return None
+        tags = self._tags[set_index]
+        valid = [tag is not None for tag in tags]
+        victim_way = self._lru[set_index].victim(valid)
+        evicted: Optional[int] = None
+        if tags[victim_way] is not None:
+            evicted = (
+                (tags[victim_way] << (self._num_sets.bit_length() - 1))
+                | set_index
+            ) << self._line_shift
+            self.stats.incr("evictions")
+        tags[victim_way] = self._tag(address)
+        self._lru[set_index].touch(victim_way)
+        self.stats.incr("fills")
+        return evicted
+
+    def access(self, address: int, update_lru: bool = True) -> CacheAccess:
+        """Lookup and fill on miss (the common path)."""
+        if self.lookup(address, update_lru=update_lru):
+            return CacheAccess(hit=True)
+        return CacheAccess(hit=False, evicted_line_addr=self.fill(address))
+
+    def invalidate(self, address: int) -> bool:
+        """Remove the line containing ``address``; True if it was present."""
+        set_index = self.set_index(address)
+        way = self._find_way(address)
+        if way is None:
+            return False
+        self._tags[set_index][way] = None
+        self.stats.incr("invalidations")
+        return True
+
+    def flush_all(self) -> None:
+        """Empty the cache (used between attack phases in tests)."""
+        for tags in self._tags:
+            for way in range(len(tags)):
+                tags[way] = None
+
+    def resident_lines(self) -> List[int]:
+        """All resident line addresses (tests and debugging)."""
+        lines: List[int] = []
+        for set_index in range(self._num_sets):
+            for line in self.lines_in_set(set_index):
+                if line is not None:
+                    lines.append(line)
+        return lines
+
+    def hit_rate(self) -> float:
+        lookups = self.stats.get("hits") + self.stats.get("misses")
+        if lookups == 0:
+            return 0.0
+        return self.stats.get("hits") / lookups

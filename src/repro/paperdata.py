@@ -1,0 +1,160 @@
+"""The paper's published numbers, transcribed for side-by-side
+comparison with measured results.
+
+Sources (HPCA 2019 paper):
+
+- :data:`TABLE5` — Table V "Filter Analysis" (all 22 benchmarks).
+- :data:`TABLE6` — Table VI "Parameter Sensitivity Analysis"
+  (A57-like / i7-like / Xeon-like overheads per benchmark).
+- :data:`FIGURE5_AVERAGES` — Section VI.C average overheads.
+- :data:`AREA` — Section VI.E hardware-overhead numbers.
+- :data:`LRU_POLICY` — Section VII.A replacement-policy numbers.
+
+Values are fractions (0.148 = 14.8%).  ``>99.9%`` and ``<0.1%`` are
+stored as 0.999 and 0.001.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Table5Paper:
+    """One row of the paper's Table V."""
+
+    l1_hit_rate: float
+    baseline_blocked: float
+    cachehit_blocked: float
+    spec_hit_rate: float
+    tpbuf_blocked: float
+    spattern_mismatch: float
+
+
+#: Table V, in paper order.
+TABLE5: Dict[str, Table5Paper] = {
+    "astar":      Table5Paper(0.944, 0.746, 0.033, 0.904, 0.022, 0.145),
+    "bwaves":     Table5Paper(0.813, 0.730, 0.056, 0.903, 0.055, 0.015),
+    "bzip2":      Table5Paper(0.967, 0.778, 0.016, 0.955, 0.013, 0.050),
+    "dealII":     Table5Paper(0.973, 0.587, 0.001, 0.994, 0.001, 0.155),
+    "gamess":     Table5Paper(0.960, 0.750, 0.005, 0.988, 0.004, 0.108),
+    "gcc":        Table5Paper(0.962, 0.791, 0.004, 0.953, 0.002, 0.188),
+    "GemsFDTD":   Table5Paper(0.999, 0.791, 0.001, 0.999, 0.001, 0.002),
+    "gobmk":      Table5Paper(0.953, 0.725, 0.016, 0.963, 0.002, 0.394),
+    "gromacs":    Table5Paper(0.938, 0.714, 0.021, 0.948, 0.011, 0.190),
+    "h264ref":    Table5Paper(0.991, 0.625, 0.003, 0.983, 0.001, 0.470),
+    "hmmer":      Table5Paper(0.979, 0.654, 0.003, 0.994, 0.003, 0.021),
+    "lbm":        Table5Paper(0.618, 0.659, 0.158, 0.607, 0.003, 0.862),
+    "leslie3d":   Table5Paper(0.951, 0.853, 0.016, 0.965, 0.012, 0.172),
+    "libquantum": Table5Paper(0.796, 0.884, 0.016, 0.952, 0.016, 0.001),
+    "mcf":        Table5Paper(0.739, 0.652, 0.093, 0.751, 0.032, 0.326),
+    "milc":       Table5Paper(0.662, 0.779, 0.130, 0.676, 0.092, 0.063),
+    "namd":       Table5Paper(0.975, 0.774, 0.002, 0.996, 0.001, 0.319),
+    "omnetpp":    Table5Paper(0.929, 0.767, 0.044, 0.782, 0.041, 0.008),
+    "sjeng":      Table5Paper(0.994, 0.781, 0.001, 0.997, 0.001, 0.119),
+    "soplex":     Table5Paper(0.849, 0.710, 0.033, 0.821, 0.033, 0.003),
+    "sphinx3":    Table5Paper(0.979, 0.774, 0.003, 0.966, 0.002, 0.131),
+    "zeusmp":     Table5Paper(0.553, 0.670, 0.150, 0.615, 0.039, 0.269),
+}
+
+#: Table V "Average" row.
+TABLE5_AVERAGE = Table5Paper(0.887, 0.736, 0.036, 0.896, 0.017, 0.182)
+
+
+@dataclass(frozen=True)
+class Table6Paper:
+    """One row of the paper's Table VI: overhead per (machine, mode)."""
+
+    a57_baseline: float
+    a57_cachehit: float
+    a57_tpbuf: float
+    i7_baseline: float
+    i7_cachehit: float
+    i7_tpbuf: float
+    xeon_baseline: float
+    xeon_cachehit: float
+    xeon_tpbuf: float
+
+
+#: Table VI, in paper order.
+TABLE6: Dict[str, Table6Paper] = {
+    "astar":      Table6Paper(0.460, 0.072, 0.055, 0.490, 0.098, 0.082,
+                              0.538, 0.112, 0.092),
+    "bwaves":     Table6Paper(0.896, 0.427, 0.418, 0.874, 0.518, 0.516,
+                              0.887, 0.531, 0.525),
+    "bzip2":      Table6Paper(0.433, 0.123, 0.093, 0.697, 0.210, 0.197,
+                              0.858, 0.280, 0.223),
+    "dealII":     Table6Paper(0.404, 0.007, 0.002, 0.180, 0.005, 0.007,
+                              0.226, 0.009, 0.013),
+    "gamess":     Table6Paper(0.259, 0.015, 0.014, 0.533, 0.022, 0.014,
+                              0.614, 0.025, 0.017),
+    "gcc":        Table6Paper(0.233, 0.026, 0.018, 0.252, 0.039, 0.027,
+                              0.258, 0.044, 0.030),
+    "GemsFDTD":   Table6Paper(0.326, 0.006, 0.006, 0.446, 0.005, 0.003,
+                              0.531, -0.002, -0.006),
+    "gobmk":      Table6Paper(0.360, 0.022, 0.012, 0.362, 0.037, 0.018,
+                              0.404, 0.042, 0.020),
+    "gromacs":    Table6Paper(0.437, 0.046, 0.055, 0.526, 0.078, 0.058,
+                              0.554, 0.090, 0.070),
+    "h264ref":    Table6Paper(0.195, 0.005, 0.001, 0.310, 0.007, 0.003,
+                              0.377, 0.007, 0.003),
+    "hmmer":      Table6Paper(1.094, 0.012, 0.011, 1.277, 0.017, 0.016,
+                              1.560, 0.037, 0.036),
+    "lbm":        Table6Paper(0.723, 0.478, 0.007, 0.744, 0.533, 0.011,
+                              0.731, 0.478, 0.011),
+    "leslie3d":   Table6Paper(0.456, 0.166, 0.129, 0.400, 0.216, 0.148,
+                              0.380, 0.190, 0.131),
+    "libquantum": Table6Paper(0.387, 0.104, 0.104, 0.255, 0.134, 0.134,
+                              0.267, 0.142, 0.138),
+    "mcf":        Table6Paper(0.160, 0.135, 0.036, 0.240, 0.197, 0.047,
+                              0.251, 0.231, 0.050),
+    "milc":       Table6Paper(0.356, 0.217, 0.104, 0.319, 0.239, 0.087,
+                              0.320, 0.241, 0.101),
+    "namd":       Table6Paper(0.377, 0.012, 0.006, 0.423, 0.014, 0.007,
+                              0.500, 0.015, 0.008),
+    "omnetpp":    Table6Paper(0.224, 0.084, 0.084, 0.525, 0.402, 0.400,
+                              0.625, 0.458, 0.449),
+    "sjeng":      Table6Paper(0.300, 0.004, 0.002, 0.322, 0.002, 0.002,
+                              0.351, 0.003, 0.002),
+    "soplex":     Table6Paper(0.026, 0.001, 0.001, 0.023, 0.002, 0.002,
+                              0.031, 0.002, 0.002),
+    "sphinx3":    Table6Paper(0.492, 0.042, 0.025, 0.524, 0.084, 0.053,
+                              0.584, 0.088, 0.055),
+    "zeusmp":     Table6Paper(0.441, 0.425, 0.144, 0.467, 0.459, 0.149,
+                              0.471, 0.464, 0.150),
+}
+
+#: Table VI "Average" row.
+TABLE6_AVERAGE = Table6Paper(0.411, 0.110, 0.060, 0.463, 0.151, 0.090,
+                             0.514, 0.159, 0.096)
+
+#: Section VI.C average overheads (Figure 5).
+FIGURE5_AVERAGES = {
+    "baseline": 0.536,
+    "cache_hit": 0.128,
+    "cache_hit_tpbuf": 0.068,
+}
+
+#: Section VI.C(1): branch-memory-only matrix average overhead; and the
+#: astar worst case.
+BRANCH_ONLY_AVERAGE = 0.230
+BRANCH_ONLY_ASTAR = 0.655
+
+#: Section VI.E hardware overhead.
+AREA = {
+    "matrix_mm2": 0.05,
+    "matrix_vs_32kb_cache": 0.035,
+    "matrix_timing_penalty": 0.014,
+    "tpbuf_mm2": 0.00079,
+    "tpbuf_vs_32kb_cache": 0.00055,
+}
+
+#: Section VII.A replacement-policy numbers.
+LRU_POLICY = {
+    "no_update_overhead": 0.0071,
+    "delayed_gain_over_no_update": 0.0026,
+}
+
+#: Section VI.C prose: fraction of speculative accesses the Cache-hit
+#: filter recognizes as safe.
+CACHE_HIT_SAFE_FRACTION = 0.896

@@ -1,0 +1,17 @@
+"""The out-of-order core.
+
+This package is the gem5 stand-in: a cycle-level 15-stage-equivalent
+out-of-order pipeline with fetch (branch prediction, wrong-path
+execution), rename, ROB, issue queue, LSQ with store-to-load forwarding
+and memory-dependence speculation, a store buffer, and full
+squash/recovery - plus the Conditional Speculation hooks (security
+dependence matrix in the issue queue, hazard filters at the L1D, TPBuf
+beside the LSQ).
+"""
+from .dyninst import DynInst, InstState
+from .processor import Processor
+from .report import SimReport
+from .trace import PipelineTracer, TraceRecord
+
+__all__ = ["DynInst", "InstState", "Processor", "SimReport",
+           "PipelineTracer", "TraceRecord"]

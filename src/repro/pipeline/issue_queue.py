@@ -1,0 +1,131 @@
+"""Issue queue with security-hazard detection (Section V.B).
+
+The queue owns fixed positions (``IQPos``) so the security dependence
+matrix can be indexed by slot, exactly as in the paper's Figure 2.
+Data readiness is tracked through physical-register ready bits (the
+functional equivalent of the conventional data-dependence matrix) and
+age ordering through the global sequence number (the equivalent of the
+age matrix); the security dependence matrix is modelled bit-for-bit.
+
+Loads keep their slot until they *complete* so that a load blocked by a
+hazard filter can wait in the queue and re-issue once its security
+dependence clears, as Section V.C requires; every other instruction
+frees its slot at issue.
+"""
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..core.security_matrix import SecurityDependenceMatrix
+from .dyninst import DynInst
+
+
+class IssueQueue:
+    """Fixed-slot issue queue paired with the security matrix."""
+
+    def __init__(self, entries: int) -> None:
+        self.entries = entries
+        self._slots: List[Optional[DynInst]] = [None] * entries
+        self._free: List[int] = list(range(entries - 1, -1, -1))
+        self._issued: List[bool] = [False] * entries
+        self._deferred_free: List[int] = []
+        self.matrix = SecurityDependenceMatrix(entries)
+
+    # ---- occupancy -----------------------------------------------------
+
+    @property
+    def full(self) -> bool:
+        return not self._free
+
+    def occupancy(self) -> int:
+        return self.entries - len(self._free)
+
+    def __iter__(self) -> Iterator[DynInst]:
+        for inst in self._slots:
+            if inst is not None:
+                yield inst
+
+    def slot(self, pos: int) -> Optional[DynInst]:
+        return self._slots[pos]
+
+    # ---- dispatch ---------------------------------------------------------
+
+    def producer_mask(self) -> int:
+        """Bit vector of slots holding valid, not-yet-issued memory or
+        branch instructions - the Y-side of the matrix formula."""
+        mask = 0
+        for pos, inst in enumerate(self._slots):
+            if inst is None or self._issued[pos]:
+                continue
+            if inst.instr.is_memory or inst.instr.is_branch:
+                mask |= 1 << pos
+        return mask
+
+    def branch_producer_mask(self) -> int:
+        """Producer mask restricted to branches (the branch-only matrix
+        ablation of Section VI.C(1))."""
+        mask = 0
+        for pos, inst in enumerate(self._slots):
+            if inst is None or self._issued[pos]:
+                continue
+            if inst.instr.is_branch:
+                mask |= 1 << pos
+        return mask
+
+    def insert(self, inst: DynInst, producer_mask: int) -> int:
+        """Allocate a slot for ``inst`` and install its matrix row."""
+        pos = self._free.pop()
+        self._slots[pos] = inst
+        self._issued[pos] = False
+        inst.iq_pos = pos
+        self.matrix.set_row(pos, producer_mask if inst.instr.is_memory else 0)
+        return pos
+
+    # ---- issue ----------------------------------------------------------------
+
+    def mark_issued(self, inst: DynInst) -> None:
+        """Record issue: stage the matrix-column clear (Update Vector
+        Register) and free the slot unless the instruction is a load
+        (loads stay resident for possible filter-blocked re-issue)."""
+        pos = inst.iq_pos
+        assert pos is not None
+        self._issued[pos] = True
+        self.matrix.schedule_clear(pos)
+        if not inst.instr.is_load:
+            self.release(inst)
+
+    def is_issued(self, pos: int) -> bool:
+        return self._issued[pos]
+
+    def has_security_dependence(self, inst: DynInst) -> bool:
+        assert inst.iq_pos is not None
+        return self.matrix.has_dependence(inst.iq_pos)
+
+    # ---- release / squash ---------------------------------------------------------
+
+    def release(self, inst: DynInst) -> None:
+        """Free the slot held by ``inst`` (issue, completion or squash).
+
+        The slot's matrix column is cleared through the update vector
+        at the *next* cycle boundary - the paper's next-cycle clearance
+        semantics - and the slot itself only becomes reallocatable then,
+        so a same-cycle dispatch can never alias a half-cleared column.
+        """
+        pos = inst.iq_pos
+        if pos is None:
+            return
+        assert self._slots[pos] is inst
+        self._slots[pos] = None
+        self._issued[pos] = False
+        self.matrix.schedule_clear(pos)
+        self._deferred_free.append(pos)
+        inst.iq_pos = None
+
+    def end_cycle(self) -> None:
+        """Apply staged matrix column clears (next-cycle semantics) and
+        recycle the slots released this cycle."""
+        self.matrix.apply_clears()
+        for pos in self._deferred_free:
+            self.matrix.clear_entry(pos)
+            self._free.append(pos)
+        self._deferred_free.clear()

@@ -1,0 +1,60 @@
+"""Memory-dependence prediction: store-wait bits (Alpha 21264 style).
+
+By default the core speculates every load past unknown-address older
+stores - the behaviour Spectre V4 exploits.  With the predictor
+enabled, a load whose PC has previously caused a memory-order violation
+is made to *wait* for older store addresses instead of speculating.
+
+This is an ablation device, not a defense: the first encounter of a
+V4 gadget still speculates (nothing has trained yet), so the attack
+still works single-shot - which the tests demonstrate - while repeated
+benign conflicts stop costing squashes.
+"""
+from __future__ import annotations
+
+from typing import List
+
+from ..stats import StatGroup
+
+_COUNTER_MAX = 3
+_WAIT_THRESHOLD = 2
+
+
+class StoreWaitPredictor:
+    """Per-load-PC saturating conflict counters."""
+
+    def __init__(self, entries: int = 256) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("predictor entries must be a power of two")
+        self.entries = entries
+        self._counters: List[int] = [0] * entries
+        self.stats = StatGroup("store_wait_predictor")
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & (self.entries - 1)
+
+    def should_wait(self, pc: int) -> bool:
+        """Whether a load at ``pc`` should wait for older store
+        addresses rather than speculate past them."""
+        wait = self._counters[self._index(pc)] >= _WAIT_THRESHOLD
+        if wait:
+            self.stats.incr("waits")
+        else:
+            self.stats.incr("speculations")
+        return wait
+
+    def train_violation(self, pc: int) -> None:
+        """A load at ``pc`` was squashed by an ordering violation."""
+        index = self._index(pc)
+        self._counters[index] = min(_COUNTER_MAX, self._counters[index] + 2)
+        self.stats.incr("violations_trained")
+
+    def train_no_conflict(self, pc: int) -> None:
+        """A waiting load at ``pc`` turned out not to conflict; decay
+        so transient conflicts don't serialize the load forever."""
+        index = self._index(pc)
+        if self._counters[index] > 0:
+            self._counters[index] -= 1
+
+    def counter(self, pc: int) -> int:
+        return self._counters[self._index(pc)]

@@ -1,0 +1,831 @@
+"""The out-of-order processor model.
+
+One :class:`Processor` simulates a single hardware thread running one
+:class:`~repro.isa.program.Program` (or a pre-built instruction memory
+containing several) on the machine described by
+:class:`~repro.params.MachineParams`, under the Conditional Speculation
+policy described by :class:`~repro.core.policy.SecurityConfig`.
+
+The pipeline is cycle-driven.  Each cycle, in order: fire deferred
+events (FU/cache completions, branch resolution), apply the oldest
+pending squash, commit, replay waiting memory operations, issue,
+dispatch, fetch, then apply the security matrix's staged column clears
+and tick the store buffer.
+
+Fidelity notes (also in DESIGN.md):
+
+- Cache state changes from an allowed miss are applied when the request
+  reaches the cache (access start); the latency is purely temporal.
+  This preserves the Spectre leak semantics - a squashed load that
+  reached the cache has already refilled the line.
+- Wrong-path fetch executes real instructions found at the predicted
+  addresses; unmapped addresses decode as NOPs.
+- Stores write the memory image at commit and drain content changes
+  through the store buffer, so they never speculatively modify caches.
+"""
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Union
+
+from ..core.filters import HazardFilters, MissVerdict
+from ..core.icache_filter import ICacheHitFilter
+from ..core.policy import ProtectionMode, SecurityConfig
+from ..core.tpbuf import TPBuf
+from ..errors import DeadlockError, SimulationError
+from ..frontend.branch_predictor import BranchPredictor
+from ..isa.instructions import (
+    INSTRUCTION_BYTES,
+    WORD_BYTES,
+    Instruction,
+    Opcode,
+    branch_taken,
+    evaluate_alu,
+    mask64,
+)
+from ..isa.program import InstructionMemory, Program
+from ..memory.hierarchy import MemoryHierarchy
+from ..memory.replacement import SpeculativeLRUPolicy
+from ..memory.tlb import TLB, PageTable
+from ..params import MachineParams, paper_config
+from ..stats import StatGroup, combine
+from .dyninst import DynInst, InstState
+from .events import EventQueue
+from .issue_queue import IssueQueue
+from .lsq import LoadStoreQueue
+from .memdep import StoreWaitPredictor
+from .rename import RenameState
+from .report import SimReport
+from .rob import ReorderBuffer
+from .store_buffer import StoreBuffer
+
+_WORD_ALIGN = ~(WORD_BYTES - 1)
+_AGU_LATENCY = 1
+#: Forwarded loads complete with L1-hit-like latency.
+_FORWARD_LATENCY = 2
+#: Cycles without a commit before the watchdog declares deadlock.
+_WATCHDOG_CYCLES = 50_000
+
+
+@dataclass
+class _FetchedInst:
+    """One slot of the fetch-to-dispatch pipeline."""
+
+    pc: int
+    instr: Instruction
+    pred_taken: bool
+    pred_target: int
+    ready_cycle: int
+
+
+class Processor:
+    """Cycle-level out-of-order core with Conditional Speculation."""
+
+    def __init__(
+        self,
+        program: Union[Program, InstructionMemory],
+        machine: Optional[MachineParams] = None,
+        security: Optional[SecurityConfig] = None,
+        page_table: Optional[PageTable] = None,
+        initial_registers: Optional[Dict[int, int]] = None,
+        tracer: Optional["PipelineTracer"] = None,
+    ) -> None:
+        self.machine = machine or paper_config()
+        self.security = security or SecurityConfig.origin()
+        core = self.machine.core
+
+        if isinstance(program, Program):
+            self.imem = InstructionMemory(program)
+            self._entry = program.entry_point
+        else:
+            self.imem = program
+            if not self.imem.programs:
+                raise SimulationError("instruction memory is empty")
+            self._entry = self.imem.programs[0].entry_point
+
+        # Memory system.
+        self.page_table = page_table or PageTable(
+            page_bytes=self.machine.memory.dtlb.page_bytes
+        )
+        self.hierarchy = MemoryHierarchy(self.machine.memory)
+        self.itlb = TLB(self.machine.memory.itlb, self.page_table, "itlb")
+        self.dtlb = TLB(self.machine.memory.dtlb, self.page_table, "dtlb")
+        self.memory_image: Dict[int, int] = {}
+        for vaddr, value in self.imem.initial_memory().items():
+            paddr = self.page_table.physical_address(vaddr)
+            self.memory_image[paddr & _WORD_ALIGN] = value
+
+        # Core structures.
+        self.predictor = BranchPredictor(core.bp_history_bits,
+                                         core.btb_entries)
+        self.rename = RenameState(core.num_arch_regs, core.num_phys_regs)
+        if initial_registers:
+            for arch, value in initial_registers.items():
+                if arch != 0:
+                    self.rename.write(self.rename.lookup(arch), value)
+        self.rob = ReorderBuffer(core.rob_entries)
+        self.iq = IssueQueue(core.iq_entries)
+        self.tpbuf: Optional[TPBuf] = None
+        if self.security.mode.uses_tpbuf:
+            self.tpbuf = TPBuf(core.ldq_entries + core.stq_entries)
+        self.lsq = LoadStoreQueue(core.ldq_entries, core.stq_entries,
+                                  tpbuf=self.tpbuf)
+        self.filters = HazardFilters(self.security, self.tpbuf)
+        self.icache_filter = ICacheHitFilter(self.security.icache_filter)
+        self.store_buffer = StoreBuffer(core.store_buffer_entries,
+                                        self.hierarchy)
+        self.memdep: Optional[StoreWaitPredictor] = None
+        if core.store_wait_predictor:
+            self.memdep = StoreWaitPredictor()
+        self.events = EventQueue()
+
+        # Fetch state.
+        self.fetch_pc = self._entry
+        self._fetch_buffer: Deque[_FetchedInst] = deque()
+        self._fetch_buffer_cap = core.fetch_width * (core.frontend_depth + 2)
+        self._fetch_stall_until = 0
+        self._halt_in_fetch = False
+
+        # Execution state.
+        self.cycle = 0
+        self.halted = False
+        self._seq = 0
+        self._unresolved_branches = 0
+        self._barrier_seqs: Deque[int] = deque()  # FENCE / RDCYCLE seqs
+        self._pending_squash: Optional[tuple] = None  # (keep_seq, pc, kind)
+        self._load_replay: List[DynInst] = []
+        self._stores_waiting_data: List[DynInst] = []
+        self._commit_stall_until = 0
+        self._last_commit_cycle = 0
+
+        self.tracer = tracer
+        self.stats = StatGroup("processor")
+        self.report = SimReport(name="run", mode=self.security.mode)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(self, max_cycles: int = 2_000_000) -> SimReport:
+        """Simulate until HALT commits or ``max_cycles`` elapse."""
+        while not self.halted and self.cycle < max_cycles:
+            self.step()
+        return self.finalize_report()
+
+    def step(self) -> None:
+        """Advance the machine by one cycle."""
+        self.cycle += 1
+        self.events.fire(self.cycle)
+        self._apply_pending_squash()
+        self._commit()
+        self._retry_waiting_memory()
+        self._issue()
+        self._dispatch()
+        self._fetch()
+        self.iq.end_cycle()
+        self.store_buffer.tick(self.cycle)
+        if self.cycle - self._last_commit_cycle > _WATCHDOG_CYCLES:
+            raise DeadlockError(
+                f"no commit for {_WATCHDOG_CYCLES} cycles at cycle "
+                f"{self.cycle}; ROB head: {self.rob.head()!r}"
+            )
+
+    # ---- architectural inspection helpers ---------------------------------
+
+    def arch_reg(self, arch_reg: int) -> int:
+        """Architectural register value (pipeline must be drained)."""
+        if arch_reg == 0:
+            return 0
+        return self.rename.architectural_value(arch_reg)
+
+    def read_vword(self, vaddr: int) -> int:
+        """Committed memory word at virtual address ``vaddr``."""
+        paddr = self.page_table.physical_address(vaddr)
+        return self.memory_image.get(paddr & _WORD_ALIGN, 0)
+
+    def write_vword(self, vaddr: int, value: int) -> None:
+        """Poke a memory word (test/attack setup)."""
+        paddr = self.page_table.physical_address(vaddr)
+        self.memory_image[paddr & _WORD_ALIGN] = mask64(value)
+
+    def vaddr_to_paddr(self, vaddr: int) -> int:
+        return self.page_table.physical_address(vaddr)
+
+    # ------------------------------------------------------------------
+    # Fetch
+    # ------------------------------------------------------------------
+
+    def _fetch(self) -> None:
+        if self._halt_in_fetch or self.cycle < self._fetch_stall_until:
+            return
+        if len(self._fetch_buffer) >= self._fetch_buffer_cap:
+            return
+        core = self.machine.core
+
+        # One I-cache access per cycle for the current fetch line.
+        translation = self.itlb.translate(self.fetch_pc)
+        if not translation.tlb_hit:
+            self._fetch_stall_until = self.cycle + translation.latency
+            return
+        line_hit = self.hierarchy.inst_hit_l1(translation.paddr)
+        unsafe_npc = self._unresolved_branches > 0
+        if not self.icache_filter.allow_fetch(line_hit, unsafe_npc):
+            self.report.icache_stall_cycles += 1
+            return
+        result = self.hierarchy.inst_access(translation.paddr)
+        if not result.l1_hit:
+            self._fetch_stall_until = self.cycle + result.latency
+            return
+
+        ready = self.cycle + core.frontend_depth
+        line_mask = ~(self.machine.memory.line_bytes - 1)
+        fetch_line = self.fetch_pc & line_mask
+        for _ in range(core.fetch_width):
+            pc = self.fetch_pc
+            if pc & line_mask != fetch_line:
+                break  # fetch groups do not cross instruction lines
+            instr = self.imem.fetch(pc)
+            if instr.op is Opcode.HALT:
+                self._fetch_buffer.append(
+                    _FetchedInst(pc, instr, False, 0, ready)
+                )
+                self._halt_in_fetch = True
+                break
+            if instr.is_branch:
+                prediction = self.predictor.predict(pc, instr)
+                self._fetch_buffer.append(
+                    _FetchedInst(pc, instr, prediction.taken,
+                                 prediction.target, ready)
+                )
+                self.fetch_pc = prediction.target
+                if prediction.taken:
+                    break  # redirect ends the fetch group
+            else:
+                self._fetch_buffer.append(
+                    _FetchedInst(pc, instr, False, pc + INSTRUCTION_BYTES,
+                                 ready)
+                )
+                self.fetch_pc = pc + INSTRUCTION_BYTES
+
+    # ------------------------------------------------------------------
+    # Dispatch (rename + allocate ROB/IQ/LSQ)
+    # ------------------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        core = self.machine.core
+        matrix_on = self.security.mode.uses_matrix
+        for _ in range(core.dispatch_width):
+            if not self._fetch_buffer:
+                return
+            entry = self._fetch_buffer[0]
+            if entry.ready_cycle > self.cycle:
+                return
+            instr = entry.instr
+            if self.rob.full:
+                self.stats.incr("dispatch_stall_rob")
+                return
+            needs_iq = instr.op not in (Opcode.NOP, Opcode.HALT)
+            if needs_iq and self.iq.full:
+                self.stats.incr("dispatch_stall_iq")
+                return
+            if instr.is_load and not self.lsq.can_allocate_load():
+                self.stats.incr("dispatch_stall_ldq")
+                return
+            if (instr.is_store or instr.is_flush) \
+                    and not self.lsq.can_allocate_store():
+                self.stats.incr("dispatch_stall_stq")
+                return
+            dest = instr.dest
+            renames_dest = dest is not None and dest != 0
+            if renames_dest and not self.rename.can_allocate():
+                self.stats.incr("dispatch_stall_prf")
+                return
+
+            self._fetch_buffer.popleft()
+            self._seq += 1
+            inst = DynInst(self._seq, entry.pc, instr)
+            inst.cycle_dispatched = self.cycle
+            inst.psrcs = tuple(
+                self.rename.lookup(src) for src in instr.sources
+            )
+            if renames_dest:
+                inst.pdst, inst.old_pdst = self.rename.allocate(dest)
+            self.rob.append(inst)
+            self.stats.incr("dispatched")
+
+            if instr.is_branch:
+                inst.pred_taken = entry.pred_taken
+                inst.pred_target = entry.pred_target
+                self._unresolved_branches += 1
+            if instr.is_serializing:
+                self._barrier_seqs.append(inst.seq)
+
+            if instr.op is Opcode.NOP or instr.op is Opcode.HALT:
+                inst.state = InstState.COMPLETED
+                continue
+
+            if matrix_on and instr.is_memory:
+                if self.security.branch_only_matrix:
+                    producer_mask = self.iq.branch_producer_mask()
+                else:
+                    producer_mask = self.iq.producer_mask()
+            else:
+                producer_mask = 0
+            self.iq.insert(inst, producer_mask)
+
+            if instr.is_load:
+                self.lsq.allocate_load(inst)
+            elif instr.is_store or instr.is_flush:
+                self.lsq.allocate_store(inst)
+
+    # ------------------------------------------------------------------
+    # Issue
+    # ------------------------------------------------------------------
+
+    def _issue(self) -> None:
+        eligible: List[DynInst] = []
+        barrier = self._barrier_seqs[0] if self._barrier_seqs else None
+        baseline = self.security.mode.blocks_at_issue
+        for inst in self.iq:
+            if inst.state is not InstState.DISPATCHED:
+                continue
+            instr = inst.instr
+            if barrier is not None and inst.seq > barrier:
+                continue
+            if instr.is_serializing and (
+                not self.rob.is_head(inst)
+                or self.cycle < self._commit_stall_until
+            ):
+                continue
+            if not self._sources_ready(inst):
+                continue
+            if inst.blocked:
+                # Filter-blocked load: wait for the security dependence
+                # row to clear, then re-issue (Section V.C).
+                if self.iq.has_security_dependence(inst):
+                    continue
+                inst.blocked = False
+            elif baseline and instr.is_memory \
+                    and self.iq.has_security_dependence(inst):
+                # BASELINE: security-dependent memory accesses are
+                # unsafe and may not issue speculatively.
+                if not inst.ever_blocked:
+                    inst.ever_blocked = True
+                inst.block_events += 1
+                self.report.block_events += 1
+                continue
+            eligible.append(inst)
+        if not eligible:
+            return
+        eligible.sort(key=lambda candidate: candidate.seq)
+        for inst in eligible[: self.machine.core.issue_width]:
+            self._issue_inst(inst)
+
+    def _sources_ready(self, inst: DynInst) -> bool:
+        """Operand readiness; stores only need their address operand."""
+        if inst.instr.is_store:
+            return self.rename.is_ready(inst.psrcs[0])
+        for psrc in inst.psrcs:
+            if not self.rename.is_ready(psrc):
+                return False
+        return True
+
+    def _issue_inst(self, inst: DynInst) -> None:
+        instr = inst.instr
+        inst.state = InstState.ISSUED
+        inst.cycle_issued = self.cycle
+        inst.issue_attempts += 1
+        self.stats.incr("issued")
+
+        # Security hazard detection: sample the matrix row at select
+        # time (Figure 2, stage 3).
+        if self.security.mode.uses_matrix and instr.is_memory:
+            inst.suspect = self.iq.has_security_dependence(inst)
+            if inst.suspect:
+                inst.ever_suspect = True
+                self.report.suspect_issues += 1
+            if self.tpbuf is not None and inst.tpbuf_index is not None:
+                self.tpbuf.set_suspect(inst.tpbuf_index, inst.suspect)
+
+        retain = instr.is_load or (
+            self.security.clear_on_resolve
+            and (instr.is_branch or instr.is_memory)
+        )
+        if self.security.clear_on_resolve and retain:
+            # Defer the column clear to resolution; keep the slot.
+            pos = inst.iq_pos
+            assert pos is not None
+            self.iq._issued[pos] = True
+        else:
+            self.iq.mark_issued(inst)
+
+        core = self.machine.core
+        op = instr.op
+        if op is Opcode.RDCYCLE:
+            self._schedule(1, lambda: self._complete_simple(
+                inst, self.cycle))
+            return
+        if op is Opcode.FENCE:
+            self._schedule(1, lambda: self._complete_simple(inst, 0))
+            return
+        if instr.is_branch:
+            self._schedule(1, lambda: self._resolve_branch(inst))
+            return
+        if instr.is_load:
+            self._begin_load(inst)
+            return
+        if instr.is_store or instr.is_flush:
+            self._begin_store_address(inst)
+            return
+        # ALU / LI / MOV: compute now, write back after the FU latency.
+        value = self._compute_alu(inst)
+        latency = core.int_alu_latency
+        if op is Opcode.MUL:
+            latency = core.mul_latency
+        elif op is Opcode.DIV:
+            latency = core.div_latency
+        self._schedule(latency, lambda: self._complete_simple(inst, value))
+
+    def _compute_alu(self, inst: DynInst) -> int:
+        instr = inst.instr
+        op = instr.op
+        if op is Opcode.LI:
+            return mask64(instr.imm)
+        operand_a = self.rename.read(inst.psrcs[0])
+        if op in (Opcode.ADDI, Opcode.ANDI, Opcode.XORI, Opcode.SHLI,
+                  Opcode.SHRI):
+            return evaluate_alu(op, operand_a, mask64(instr.imm))
+        if op is Opcode.MOV:
+            return operand_a
+        operand_b = self.rename.read(inst.psrcs[1])
+        return evaluate_alu(op, operand_a, operand_b)
+
+    # ------------------------------------------------------------------
+    # Simple completion & branch resolution
+    # ------------------------------------------------------------------
+
+    def _schedule(self, delay: int, action) -> None:
+        self.events.schedule(self.cycle + max(1, delay), action)
+
+    def _complete_simple(self, inst: DynInst, value: int) -> None:
+        if inst.squashed:
+            return
+        if inst.instr.op is Opcode.RDCYCLE:
+            value = self.cycle
+        inst.value = mask64(value)
+        if inst.pdst is not None:
+            self.rename.write(inst.pdst, inst.value)
+        inst.state = InstState.COMPLETED
+        inst.cycle_completed = self.cycle
+        if inst.instr.is_serializing:
+            self._remove_barrier(inst.seq)
+
+    def _remove_barrier(self, seq: int) -> None:
+        try:
+            self._barrier_seqs.remove(seq)
+        except ValueError:
+            pass
+
+    def _resolve_branch(self, inst: DynInst) -> None:
+        if inst.squashed:
+            return
+        instr = inst.instr
+        fallthrough = inst.pc + INSTRUCTION_BYTES
+        if instr.op is Opcode.JMP:
+            taken, target = True, instr.target
+        elif instr.op is Opcode.CALL:
+            taken, target = True, instr.target
+            inst.value = fallthrough
+            if inst.pdst is not None:
+                self.rename.write(inst.pdst, fallthrough)
+        elif instr.op in (Opcode.JMPI, Opcode.RET):
+            taken, target = True, self.rename.read(inst.psrcs[0])
+        else:
+            taken = branch_taken(
+                instr.op,
+                self.rename.read(inst.psrcs[0]),
+                self.rename.read(inst.psrcs[1]),
+            )
+            target = instr.target if taken else fallthrough
+        actual_next = target if taken else fallthrough
+        predicted_next = inst.pred_target
+        inst.taken = taken
+        inst.actual_target = actual_next
+        inst.mispredicted = actual_next != predicted_next
+        inst.resolved = True
+        inst.state = InstState.COMPLETED
+        inst.cycle_completed = self.cycle
+        self._unresolved_branches -= 1
+        self.report.branches_resolved += 1
+        self.predictor.update(inst.pc, instr, taken, target,
+                              inst.mispredicted)
+        if self.security.clear_on_resolve and inst.iq_pos is not None:
+            self.iq.matrix.schedule_clear(inst.iq_pos)
+            self.iq.release(inst)
+        if inst.mispredicted:
+            self.report.branch_mispredicts += 1
+            self._request_squash(inst.seq, actual_next, "branch")
+
+    # ------------------------------------------------------------------
+    # Loads
+    # ------------------------------------------------------------------
+
+    def _begin_load(self, inst: DynInst) -> None:
+        instr = inst.instr
+        base = self.rename.read(inst.psrcs[0])
+        inst.vaddr = mask64(base + instr.imm)
+        translation = self.dtlb.translate(inst.vaddr)
+        inst.paddr = translation.paddr
+        inst.ppn = translation.ppn
+        inst.addr_ready = True
+        if self.tpbuf is not None and inst.tpbuf_index is not None:
+            self.tpbuf.set_ppn(inst.tpbuf_index, translation.ppn)
+        delay = _AGU_LATENCY + translation.latency
+        self._schedule(delay, lambda: self._load_cache_stage(inst))
+
+    def _load_cache_stage(self, inst: DynInst) -> None:
+        if inst.squashed:
+            return
+        decision = self.lsq.check_load(inst)
+        if decision.speculation_hazard \
+                and not self.machine.core.memory_dependence_speculation:
+            self._load_replay.append(inst)
+            self.stats.incr("load_wait_unknown_store")
+            return
+        if decision.speculation_hazard and self.memdep is not None \
+                and self.memdep.should_wait(inst.pc):
+            self._load_replay.append(inst)
+            self.stats.incr("load_wait_predicted_dependence")
+            return
+        if decision.speculation_hazard:
+            inst.speculated_past_store = True
+            self.stats.incr("load_speculated_past_store")
+        source = decision.source
+        if source is not None:
+            if not source.store_data_ready:
+                self._load_replay.append(inst)
+                self.stats.incr("load_wait_store_data")
+                return
+            inst.forward_seq = source.seq
+            self.stats.incr("load_forwarded")
+            value = source.value
+            self._schedule(_FORWARD_LATENCY,
+                           lambda: self._complete_load(inst, value))
+            return
+
+        # Read from the memory system.
+        assert inst.paddr is not None
+        value = self.memory_image.get(inst.paddr & _WORD_ALIGN, 0)
+        policy = self.security.lru_policy
+        update_lru = policy is SpeculativeLRUPolicy.NORMAL
+        hit = self.hierarchy.data_hit_l1(inst.paddr, update_lru=update_lru)
+        inst.l1_hit = hit
+        filter_mode = self.security.mode in (
+            ProtectionMode.CACHE_HIT, ProtectionMode.CACHE_HIT_TPBUF
+        )
+        if inst.suspect and filter_mode:
+            self.report.suspect_accesses += 1
+            decision2 = self.filters.judge_suspect_load(
+                hit, inst.tpbuf_index if inst.tpbuf_index is not None else 0,
+                inst.ppn if inst.ppn is not None else 0,
+            )
+            if hit:
+                self.report.suspect_l1_hits += 1
+            elif decision2.verdict is MissVerdict.BLOCK:
+                # Discard the miss request; wait in the IQ for the
+                # security dependence to clear, then re-issue.
+                inst.blocked = True
+                inst.ever_blocked = True
+                inst.block_events += 1
+                inst.state = InstState.DISPATCHED
+                self.report.block_events += 1
+                self.stats.incr("filter_blocked_misses")
+                return
+        if hit:
+            if policy is SpeculativeLRUPolicy.DELAYED:
+                inst.pending_lru_line = inst.paddr
+            latency = self.machine.memory.l1d.hit_latency
+            inst.mem_level = "l1"
+        else:
+            result = self.hierarchy.complete_miss(inst.paddr)
+            latency = result.latency
+            inst.mem_level = result.level
+        self._schedule(latency, lambda: self._complete_load(inst, value))
+
+    def _complete_load(self, inst: DynInst, value: int) -> None:
+        if inst.squashed:
+            return
+        inst.value = mask64(value)
+        if inst.pdst is not None:
+            self.rename.write(inst.pdst, inst.value)
+        inst.state = InstState.COMPLETED
+        inst.cycle_completed = self.cycle
+        if self.tpbuf is not None and inst.tpbuf_index is not None:
+            self.tpbuf.set_writeback(inst.tpbuf_index)
+        if inst.iq_pos is not None:
+            if self.security.clear_on_resolve:
+                self.iq.matrix.schedule_clear(inst.iq_pos)
+            self.iq.release(inst)
+
+    # ------------------------------------------------------------------
+    # Stores and CLFLUSH (address pipeline)
+    # ------------------------------------------------------------------
+
+    def _begin_store_address(self, inst: DynInst) -> None:
+        instr = inst.instr
+        base = self.rename.read(inst.psrcs[0])
+        inst.vaddr = mask64(base + instr.imm)
+        translation = self.dtlb.translate(inst.vaddr)
+        inst.paddr = translation.paddr
+        inst.ppn = translation.ppn
+        if self.tpbuf is not None and inst.tpbuf_index is not None:
+            self.tpbuf.set_ppn(inst.tpbuf_index, translation.ppn)
+        delay = _AGU_LATENCY + translation.latency
+        self._schedule(delay, lambda: self._store_address_resolved(inst))
+
+    def _store_address_resolved(self, inst: DynInst) -> None:
+        if inst.squashed:
+            return
+        inst.addr_ready = True
+        if self.security.clear_on_resolve and inst.iq_pos is not None:
+            self.iq.matrix.schedule_clear(inst.iq_pos)
+            self.iq.release(inst)
+        if inst.instr.is_store:
+            # Memory-order violation check (Spectre V4 squash path).
+            violations = self.lsq.violating_loads(inst)
+            if violations:
+                victim = violations[0]
+                self.report.memory_order_violations += 1
+                if self.memdep is not None:
+                    self.memdep.train_violation(victim.pc)
+                self._request_squash(victim.seq - 1, victim.pc,
+                                     "memory_order")
+            self._try_capture_store_data(inst)
+            if not inst.store_data_ready:
+                self._stores_waiting_data.append(inst)
+        else:  # CLFLUSH: complete; the flush itself happens at commit.
+            inst.state = InstState.COMPLETED
+            inst.cycle_completed = self.cycle
+
+    def _try_capture_store_data(self, inst: DynInst) -> None:
+        data_psrc = inst.psrcs[1]
+        if not self.rename.is_ready(data_psrc):
+            return
+        inst.value = self.rename.read(data_psrc)
+        inst.store_data_ready = True
+        inst.state = InstState.COMPLETED
+        inst.cycle_completed = self.cycle
+        if self.tpbuf is not None and inst.tpbuf_index is not None:
+            self.tpbuf.set_writeback(inst.tpbuf_index)
+
+    # ------------------------------------------------------------------
+    # Replay of waiting memory operations
+    # ------------------------------------------------------------------
+
+    def _retry_waiting_memory(self) -> None:
+        if self._stores_waiting_data:
+            still_waiting: List[DynInst] = []
+            for store in self._stores_waiting_data:
+                if store.squashed:
+                    continue
+                self._try_capture_store_data(store)
+                if not store.store_data_ready:
+                    still_waiting.append(store)
+            self._stores_waiting_data = still_waiting
+        if self._load_replay:
+            replays = [
+                load for load in self._load_replay if not load.squashed
+            ]
+            self._load_replay = []
+            for load in replays:
+                self._load_cache_stage(load)
+
+    # ------------------------------------------------------------------
+    # Squash
+    # ------------------------------------------------------------------
+
+    def _request_squash(self, keep_seq: int, redirect_pc: int,
+                        kind: str) -> None:
+        if self._pending_squash is None \
+                or keep_seq < self._pending_squash[0]:
+            self._pending_squash = (keep_seq, redirect_pc, kind)
+
+    def _apply_pending_squash(self) -> None:
+        if self._pending_squash is None:
+            return
+        keep_seq, redirect_pc, kind = self._pending_squash
+        self._pending_squash = None
+        self._squash(keep_seq, redirect_pc, kind)
+
+    def _squash(self, keep_seq: int, redirect_pc: int, kind: str) -> None:
+        squashed = self.rob.squash_younger_than(keep_seq)
+        for inst in squashed:  # youngest first
+            inst.squashed = True
+            instr = inst.instr
+            if instr.is_branch and not inst.resolved:
+                self._unresolved_branches -= 1
+            if instr.is_serializing:
+                self._remove_barrier(inst.seq)
+            if inst.iq_pos is not None:
+                self.iq.release(inst)
+            if inst.lsq_slot is not None:
+                self.lsq.release(inst)
+            if inst.pdst is not None:
+                dest = instr.dest
+                assert dest is not None and inst.old_pdst is not None
+                self.rename.rollback(dest, inst.pdst, inst.old_pdst)
+            if self.tracer is not None:
+                self.tracer.on_squash(inst, self.cycle)
+            self.report.squashed_instructions += 1
+        self.report.squashes += 1
+        self.stats.incr(f"squash_{kind}")
+        self._fetch_buffer.clear()
+        self.fetch_pc = redirect_pc
+        self._fetch_stall_until = self.cycle + 1
+        self._halt_in_fetch = False
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+
+    def _commit(self) -> None:
+        if self.cycle < self._commit_stall_until:
+            return
+        for _ in range(self.machine.core.commit_width):
+            head = self.rob.head()
+            if head is None or head.state is not InstState.COMPLETED:
+                return
+            instr = head.instr
+            if instr.is_store:
+                if self.store_buffer.full:
+                    self.stats.incr("commit_stall_store_buffer")
+                    return
+                assert head.paddr is not None
+                self.memory_image[head.paddr & _WORD_ALIGN] = head.value
+                self.store_buffer.push(head.paddr)
+                self.report.committed_stores += 1
+            elif instr.is_flush:
+                assert head.paddr is not None
+                latency, _present = self.hierarchy.flush_line(head.paddr)
+                self._commit_stall_until = self.cycle + latency
+                self.stats.incr("flushes_committed")
+            elif instr.is_load:
+                if head.pending_lru_line is not None:
+                    self.hierarchy.touch_l1d(head.pending_lru_line)
+                self.report.committed_loads += 1
+            elif instr.is_branch:
+                self.report.committed_branches += 1
+
+            if instr.is_memory and head.ever_blocked:
+                self.report.committed_mem_blocked += 1
+            if head.old_pdst is not None:
+                self.rename.release(head.old_pdst)
+            if head.iq_pos is not None:
+                self.iq.release(head)
+            if head.lsq_slot is not None:
+                self.lsq.release(head)
+            if instr.is_serializing:
+                self._remove_barrier(head.seq)
+            self.rob.pop_head()
+            if self.tracer is not None:
+                self.tracer.on_retire(head, self.cycle)
+            self.report.committed += 1
+            self._last_commit_cycle = self.cycle
+
+            if instr.op is Opcode.HALT:
+                self.halted = True
+                self.report.halted = True
+                # Drain: discard wrong-path youngsters so architectural
+                # state (rename map) is exact.
+                self._squash(head.seq, head.pc, "halt")
+                return
+            if instr.is_flush:
+                return  # flush occupies the commit port
+
+    # ------------------------------------------------------------------
+    # Report
+    # ------------------------------------------------------------------
+
+    def finalize_report(self) -> SimReport:
+        report = self.report
+        report.cycles = self.cycle
+        report.l1d_hits = self.hierarchy.l1d.stats.get("hits")
+        report.l1d_misses = self.hierarchy.l1d.stats.get("misses")
+        report.l1i_hits = self.hierarchy.l1i.stats.get("hits")
+        report.l1i_misses = self.hierarchy.l1i.stats.get("misses")
+        if self.tpbuf is not None:
+            report.tpbuf_queries = self.tpbuf.stats.get("queries")
+            report.tpbuf_safe = self.tpbuf.stats.get("safe")
+        groups = [
+            self.stats, self.hierarchy.stats, self.hierarchy.l1d.stats,
+            self.hierarchy.l1i.stats, self.hierarchy.l2.stats,
+            self.hierarchy.l3.stats, self.predictor.stats,
+            self.filters.stats, self.iq.matrix.stats, self.itlb.stats,
+            self.dtlb.stats, self.store_buffer.stats,
+            self.icache_filter.stats,
+        ]
+        if self.tpbuf is not None:
+            groups.append(self.tpbuf.stats)
+        report.raw = combine(groups)
+        return report

@@ -1,0 +1,20 @@
+"""Workload generators.
+
+:mod:`synthetic` provides parameterized program generators (streams,
+pointer chases, random access, branchy control) whose knobs map onto
+the characteristics that drive the paper's evaluation: L1 hit rate,
+branch misprediction rate, and the number of concurrently touched
+pages (the S-Pattern signature).  :mod:`spec2006` instantiates one
+profile per benchmark of Table V.
+"""
+from .synthetic import SyntheticSpec, build_workload
+from .spec2006 import SPEC_PROFILES, spec_names, spec_program, spec_spec
+
+__all__ = [
+    "SyntheticSpec",
+    "build_workload",
+    "SPEC_PROFILES",
+    "spec_names",
+    "spec_program",
+    "spec_spec",
+]

@@ -1,0 +1,365 @@
+"""Parameterized synthetic workload generator.
+
+A workload is a kernel loop over a mix of memory streams, pointer
+chases, random accesses, ALU work and branches.  The knobs map onto the
+microarchitectural characteristics the paper's evaluation keys on:
+
+- ``stride`` and working-set size control the L1 hit rate (a sequential
+  stream with stride ``s`` over a >L1 working set hits at ``1 - s/64``);
+- ``page_streams`` controls how many distinct pages are touched by
+  in-flight accesses, which is exactly what the TPBuf's S-Pattern
+  detection observes (one bursty stream -> misses look safe; many
+  interleaved streams -> misses match the S-Pattern);
+- ``random_branches`` / ``predictable_branches`` set the branch
+  misprediction rate;
+- ``chase_loads`` adds serially dependent (pointer-chasing) loads.
+"""
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+
+PAGE = 4096
+LINE = 64
+WORD = 8
+
+#: Register allocation for generated kernels.
+_R_LOOP = 1
+_R_LCG = 2
+_R_STREAM0 = 3          # r3.. one offset register per stream
+_R_CHASE = 20
+_R_ACC = 21
+_R_SCRATCH = 22         # r22..r25 scratch
+_MAX_STREAMS = 12
+
+#: Data-region bases (virtual).
+_STREAM_BASE = 0x100000
+_STREAM_REGION = 0x80000      # 512KB per stream slot
+_CHASE_BASE = 0xA00000
+_RANDOM_DATA_BASE = 0x40000   # small resident page of random words
+_STORE_BASE = 0xC00000
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Recipe for one synthetic workload."""
+
+    name: str
+    #: Kernel-loop iterations (scaled by ``build_workload(scale=...)``).
+    iterations: int = 200
+    #: Sequential-stream loads per loop body.
+    stream_loads: int = 4
+    #: Stores per loop body (to a private store stream).
+    stores: int = 1
+    #: Pointer-chase (serially dependent) loads per body.
+    chase_loads: int = 0
+    #: Indirect (A[f(B[i])]) loads per body: the data load's address
+    #: depends on an index load that may miss, so the data load can
+    #: linger unissued for a DRAM latency.  These are the delinquent
+    #: producers that make security dependence (suspicion) common and
+    #: block the ROB head so completed suspects accumulate in the LSQ -
+    #: the two effects the paper's Table V statistics hinge on.
+    indirect_loads: int = 1
+    #: Random-index loads per body (LCG over the working set).
+    random_loads: int = 0
+    #: Plain ALU operations per body.
+    alu_ops: int = 6
+    #: Data-dependent branches per body (~50% mispredicted each).
+    random_branches: int = 0
+    #: Loop-counter branches per body (learned quickly).
+    predictable_branches: int = 1
+    #: Perfectly predictable branches whose *condition* flows from the
+    #: last loaded value, so they resolve late while predicting
+    #: correctly.  Free on Origin; under BASELINE they hold younger
+    #: memory accesses in the issue queue until they issue - the
+    #: branch-memory security dependence cost of Section VI.C(1).
+    slow_branches: int = 1
+    #: Extra multiply chain feeding each slow branch's condition, for
+    #: workloads whose branch conditions are computation- rather than
+    #: memory-bound (chess/video codes): lengthens the unissued window
+    #: of a perfectly predicted branch without adding cache misses.
+    slow_branch_chain: int = 0
+    #: Concurrent sequential streams, each on its own page range.
+    page_streams: int = 1
+    #: Bytes between consecutive accesses of one stream.
+    stride: int = 8
+    #: Working-set bytes per stream (power of two).
+    stream_bytes: int = 64 * 1024
+    #: Pages covered by the pointer-chase chain.
+    chase_pages: int = 64
+    #: Stores write back into the load stream's own pages
+    #: (read-modify-write codes like lbm) instead of a private store
+    #: region; keeps the in-flight page history single-page.
+    stores_share_stream: bool = False
+    #: RNG seed for instruction interleaving and data values.
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.page_streams <= _MAX_STREAMS:
+            raise ConfigError("page_streams must be in [1, 12]")
+        if self.stream_bytes & (self.stream_bytes - 1):
+            raise ConfigError("stream_bytes must be a power of two")
+        if self.stride % WORD != 0 or self.stride <= 0:
+            raise ConfigError("stride must be a positive multiple of 8")
+
+    def stream_base(self, index: int) -> int:
+        return _STREAM_BASE + index * _STREAM_REGION
+
+
+def _emit_stream_load(builder: ProgramBuilder, spec: SyntheticSpec,
+                      stream: int) -> None:
+    offset_reg = _R_STREAM0 + stream
+    builder.li(_R_SCRATCH, spec.stream_base(stream))
+    builder.add(_R_SCRATCH + 1, _R_SCRATCH, offset_reg)
+    builder.load(_R_ACC, _R_SCRATCH + 1)
+    builder.addi(offset_reg, offset_reg, spec.stride)
+    builder.andi(offset_reg, offset_reg, spec.stream_bytes - 1)
+
+
+def _emit_store(builder: ProgramBuilder, spec: SyntheticSpec,
+                stream: int) -> None:
+    offset_reg = _R_STREAM0 + stream
+    if spec.stores_share_stream:
+        base = spec.stream_base(stream)
+    else:
+        base = _STORE_BASE + stream * _STREAM_REGION
+    builder.li(_R_SCRATCH, base)
+    builder.add(_R_SCRATCH + 1, _R_SCRATCH, offset_reg)
+    builder.store(_R_ACC, _R_SCRATCH + 1)
+
+
+def _emit_chase_load(builder: ProgramBuilder) -> None:
+    builder.load(_R_CHASE, _R_CHASE)
+
+
+_R_IDX = 26
+_R_IDX2 = 27
+
+
+def _emit_indirect_load(builder: ProgramBuilder, spec: SyntheticSpec,
+                        stream: int) -> None:
+    """A[f(B[i])]: index load (advances the stream) feeding the address
+    of a data load into the same stream's region."""
+    offset_reg = _R_STREAM0 + stream
+    base = spec.stream_base(stream)
+    builder.li(_R_IDX2, base)
+    builder.add(_R_IDX2, _R_IDX2, offset_reg)
+    builder.load(_R_IDX, _R_IDX2)                 # index load (can miss)
+    builder.addi(offset_reg, offset_reg, spec.stride)
+    builder.andi(offset_reg, offset_reg, spec.stream_bytes - 1)
+    # Spread the index pseudo-randomly over the region even when the
+    # loaded word is zero, while keeping the address data-dependent.
+    builder.li(_R_IDX2, 2654435761)
+    builder.mul(_R_IDX2, offset_reg, _R_IDX2)
+    builder.xor(_R_IDX, _R_IDX, _R_IDX2)
+    builder.andi(_R_IDX, _R_IDX, (spec.stream_bytes - 1) & ~7)
+    builder.li(_R_IDX2, base)
+    builder.add(_R_IDX2, _R_IDX2, _R_IDX)
+    builder.load(_R_ACC, _R_IDX2)                 # delinquent data load
+
+
+def _emit_random_load(builder: ProgramBuilder, spec: SyntheticSpec) -> None:
+    # LCG step, then index into stream 0's working set.
+    builder.li(_R_SCRATCH, 6364136223846793005)
+    builder.mul(_R_LCG, _R_LCG, _R_SCRATCH)
+    builder.addi(_R_LCG, _R_LCG, 1442695040888963407)
+    builder.shri(_R_SCRATCH, _R_LCG, 20)
+    builder.andi(_R_SCRATCH, _R_SCRATCH, (spec.stream_bytes - 1) & ~7)
+    builder.li(_R_SCRATCH + 1, spec.stream_base(0))
+    builder.add(_R_SCRATCH + 1, _R_SCRATCH + 1, _R_SCRATCH)
+    builder.load(_R_ACC, _R_SCRATCH + 1)
+
+
+def _emit_random_branch(builder: ProgramBuilder, tag: str) -> None:
+    """A branch on loaded pseudo-random data (~50% taken)."""
+    label = f"rb_{tag}"
+    builder.andi(_R_SCRATCH, _R_ACC, 1)
+    builder.beq(_R_SCRATCH, 0, label)
+    builder.addi(_R_ACC, _R_ACC, 3)
+    builder.label(label)
+
+
+def _emit_slow_branch(builder: ProgramBuilder, tag: str,
+                      chain: int = 0) -> None:
+    """Always-taken branch whose operand is data-dependent on the most
+    recent load (optionally through a multiply chain): predicted
+    perfectly, resolved late."""
+    label = f"sb_{tag}"
+    builder.mov(_R_SCRATCH, _R_ACC)
+    for _ in range(chain):
+        builder.mul(_R_SCRATCH, _R_SCRATCH, _R_SCRATCH)
+    builder.andi(_R_SCRATCH, _R_SCRATCH, 0)   # always 0, arrives late
+    builder.beq(_R_SCRATCH, 0, label)         # always taken
+    builder.nop()
+    builder.label(label)
+
+
+def _emit_predictable_branch(builder: ProgramBuilder, tag: str) -> None:
+    """A branch the gshare predictor learns almost immediately."""
+    label = f"pb_{tag}"
+    builder.bge(_R_LOOP, 0, label)
+    builder.nop()
+    builder.label(label)
+
+
+def _emit_alu(builder: ProgramBuilder, rng: random.Random) -> None:
+    choice = rng.randrange(4)
+    if choice == 0:
+        builder.add(_R_SCRATCH + 2, _R_ACC, _R_LCG)
+    elif choice == 1:
+        builder.xor(_R_SCRATCH + 2, _R_SCRATCH + 2, _R_ACC)
+    elif choice == 2:
+        builder.shli(_R_SCRATCH + 3, _R_ACC, 3)
+    else:
+        builder.mul(_R_SCRATCH + 3, _R_SCRATCH + 2, _R_ACC)
+
+
+def _build_chase_chain(builder: ProgramBuilder, spec: SyntheticSpec,
+                       rng: random.Random) -> int:
+    """Lay out a shuffled pointer chain, one node per line, spread over
+    ``chase_pages`` pages.  Returns the chain's entry address."""
+    nodes = [
+        _CHASE_BASE + page * PAGE + line * LINE
+        for page in range(spec.chase_pages)
+        for line in range(0, PAGE // LINE, 4)   # 16 nodes per page
+    ]
+    order = nodes[:]
+    rng.shuffle(order)
+    for here, there in zip(order, order[1:]):
+        builder.data_word(here, there)
+    builder.data_word(order[-1], order[0])
+    return order[0]
+
+
+def build_lru_stress(iterations: int = 120, hot_sets: int = 24,
+                     hot_ways: int = 3, scale: float = 1.0,
+                     l1_ways: int = 4, l1_sets: int = 256) -> Program:
+    """A workload whose hit rate depends on replacement *recency*.
+
+    ``hot_ways`` hot lines compete in each of ``hot_sets`` L1 sets
+    (occupying all but one way) and are re-read every iteration, while
+    a cold stream pours one fill per set per iteration.  With true LRU
+    the hot lines' hits keep them most-recent and the stream evicts its
+    own older lines; under the no-update policy (Section VII.A) the hot
+    lines' recency is never refreshed, so the stream ages them out and
+    every stream pass costs extra hot misses.  This is the workload
+    that makes the LRU-policy cost measurable.
+    """
+    hot_base = 0x200000
+    cold_base = 0x600000
+    set_span = l1_sets * LINE                 # bytes between same-set lines
+    cold_bytes = 1 << 20
+    hot_addresses = [
+        hot_base + set_index * LINE + way * set_span
+        for set_index in range(hot_sets)
+        for way in range(hot_ways)
+    ]
+    builder = ProgramBuilder()
+    # The hot lines form a pointer chain so their accesses are serially
+    # dependent: a recency-induced miss lands squarely on the critical
+    # path instead of hiding under memory-level parallelism.
+    for here, there in zip(hot_addresses,
+                           hot_addresses[1:] + hot_addresses[:1]):
+        builder.data_word(here, there)
+    builder.li(_R_LOOP, max(1, int(iterations * scale)))
+    builder.li(3, hot_addresses[0])           # chain cursor
+    builder.li(4, 0)                          # cold cursor (bytes)
+    builder.label("kernel")
+    for _ in hot_addresses:                   # hot reuse, every iteration
+        builder.load(3, 3)
+    # One fresh stream fill into each *hot* set per iteration: the
+    # stream walks same-set lines (stride = set span) so the pressure
+    # lands exactly where the hot lines live.
+    for set_index in range(hot_sets):
+        builder.li(_R_SCRATCH, cold_base + set_index * LINE)
+        builder.add(_R_SCRATCH + 1, _R_SCRATCH, 4)
+        builder.load(_R_ACC, _R_SCRATCH + 1)
+    builder.addi(4, 4, set_span)              # next pass, next frame
+    builder.andi(4, 4, cold_bytes - 1)
+    builder.addi(_R_LOOP, _R_LOOP, -1)
+    builder.bne(_R_LOOP, 0, "kernel")
+    builder.halt()
+    return builder.build()
+
+
+def build_workload(spec: SyntheticSpec, scale: float = 1.0,
+                   builder_factory=ProgramBuilder) -> Program:
+    """Generate the program for ``spec``.
+
+    ``scale`` multiplies the iteration count, letting tests run tiny
+    instances and benchmarks run larger ones from one profile.
+    ``builder_factory`` lets callers inject an instrumenting builder
+    (e.g. the LFENCE-after-branch mitigation ablation).
+    """
+    rng = random.Random(spec.seed)
+    builder = builder_factory()
+
+    # Random data in stream 0 so data-dependent branches see entropy
+    # and the accumulator carries varying values.
+    for word_index in range(0, min(spec.stream_bytes, 16 * 1024), WORD):
+        for stream in range(spec.page_streams):
+            builder.data_word(
+                spec.stream_base(stream) + word_index,
+                rng.getrandbits(63),
+            )
+
+    chase_entry = 0
+    if spec.chase_loads:
+        chase_entry = _build_chase_chain(builder, spec, rng)
+
+    # ---- prologue --------------------------------------------------------
+    iterations = max(1, int(spec.iterations * scale))
+    builder.li(_R_LOOP, iterations)
+    builder.li(_R_LCG, spec.seed * 2654435761 + 1)
+    builder.li(_R_ACC, 0)
+    for stream in range(spec.page_streams):
+        # Stagger stream origins so concurrent streams sit on
+        # different pages from the first iteration on.
+        builder.li(_R_STREAM0 + stream, (stream * 8 * LINE) % spec.stream_bytes)
+    if spec.chase_loads:
+        builder.li(_R_CHASE, chase_entry)
+
+    # ---- kernel body -----------------------------------------------------
+    body = (
+        [("stream", i % spec.page_streams) for i in range(spec.stream_loads)]
+        + [("store", i % spec.page_streams) for i in range(spec.stores)]
+        + [("chase", 0)] * spec.chase_loads
+        + [("indirect", i % spec.page_streams)
+           for i in range(spec.indirect_loads)]
+        + [("random", 0)] * spec.random_loads
+        + [("alu", 0)] * spec.alu_ops
+        + [("rbranch", i) for i in range(spec.random_branches)]
+        + [("sbranch", i) for i in range(spec.slow_branches)]
+        + [("pbranch", i) for i in range(spec.predictable_branches)]
+    )
+    rng.shuffle(body)
+
+    builder.label("kernel")
+    for position, (kind, arg) in enumerate(body):
+        tag = f"{position}"
+        if kind == "stream":
+            _emit_stream_load(builder, spec, arg)
+        elif kind == "store":
+            _emit_store(builder, spec, arg)
+        elif kind == "chase":
+            _emit_chase_load(builder)
+        elif kind == "indirect":
+            _emit_indirect_load(builder, spec, arg)
+        elif kind == "random":
+            _emit_random_load(builder, spec)
+        elif kind == "alu":
+            _emit_alu(builder, rng)
+        elif kind == "rbranch":
+            _emit_random_branch(builder, tag)
+        elif kind == "sbranch":
+            _emit_slow_branch(builder, tag, chain=spec.slow_branch_chain)
+        else:
+            _emit_predictable_branch(builder, tag)
+    builder.addi(_R_LOOP, _R_LOOP, -1)
+    builder.bne(_R_LOOP, 0, "kernel")
+    builder.halt()
+    return builder.build()

@@ -1,0 +1,62 @@
+"""Tests for the analytic area/timing model (Section VI.E).
+
+The model is calibrated so the paper's reported design points hold;
+these tests pin the calibration and the scaling laws.
+"""
+import pytest
+
+from repro.core.area_model import (
+    area_report,
+    cache_area_mm2,
+    matrix_area_mm2,
+    matrix_timing_penalty,
+    tpbuf_area_mm2,
+)
+
+
+class TestCalibrationPoints:
+    """The paper's numbers: 0.05 mm^2 matrix (3.5% of a 4-way 32KB
+    cache), 0.00079 mm^2 TPBuf (0.055%), +1.4% timing."""
+
+    def test_matrix_area_at_64_entries(self):
+        assert matrix_area_mm2(64, 4, 4) == pytest.approx(0.05, rel=0.05)
+
+    def test_matrix_fraction_of_reference_cache(self):
+        report = area_report(iq_entries=64, lsq_entries=56)
+        assert report.matrix_vs_cache == pytest.approx(0.035, rel=0.10)
+
+    def test_tpbuf_area_at_56_entries(self):
+        assert tpbuf_area_mm2(56) == pytest.approx(0.00079, rel=0.05)
+
+    def test_tpbuf_fraction_of_reference_cache(self):
+        report = area_report(iq_entries=64, lsq_entries=56)
+        assert report.tpbuf_vs_cache == pytest.approx(0.00055, rel=0.10)
+
+    def test_timing_penalty_at_64_entries(self):
+        assert matrix_timing_penalty(64) == pytest.approx(0.014, rel=0.05)
+
+
+class TestScalingLaws:
+    def test_matrix_scales_quadratically(self):
+        small = matrix_area_mm2(32)
+        large = matrix_area_mm2(64)
+        assert 3.0 < large / small < 4.5   # ~4x for 2x entries
+
+    def test_matrix_grows_with_port_count(self):
+        assert matrix_area_mm2(64, 8, 8) > matrix_area_mm2(64, 2, 2)
+
+    def test_tpbuf_scales_superlinearly_with_entries(self):
+        # entries x (ppn + status + mask-bits-per-entry)
+        assert tpbuf_area_mm2(112) > 2 * tpbuf_area_mm2(56)
+
+    def test_timing_grows_logarithmically(self):
+        p32, p64, p128 = (matrix_timing_penalty(n) for n in (32, 64, 128))
+        assert p32 < p64 < p128
+        assert (p64 - p32) == pytest.approx(p128 - p64, rel=0.01)
+
+    def test_cache_area_monotone_in_size(self):
+        assert cache_area_mm2(64 * 1024, 4) > cache_area_mm2(32 * 1024, 4)
+
+    def test_report_renders(self):
+        text = area_report().render()
+        assert "mm^2" in text and "critical-path" in text

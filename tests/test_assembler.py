@@ -1,0 +1,140 @@
+"""Tests for the text assembler."""
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa import Opcode, assemble, run_oracle
+
+
+class TestAssembleBasics:
+    def test_simple_program(self):
+        program = assemble("""
+            li r1, 10
+            addi r2, r1, 5
+            halt
+        """)
+        assert [i.op for i in program.instructions] == [
+            Opcode.LI, Opcode.ADDI, Opcode.HALT
+        ]
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("""
+            ; full-line comment
+            li r1, 1   # trailing comment
+
+            halt
+        """)
+        assert len(program) == 2
+
+    def test_hex_immediates(self):
+        program = assemble("li r1, 0x40\nhalt\n")
+        assert program.instructions[0].imm == 0x40
+
+    def test_negative_immediates(self):
+        program = assemble("addi r1, r1, -8\nhalt\n")
+        assert program.instructions[0].imm == -8
+
+    def test_labels_and_branches(self):
+        program = assemble("""
+        loop:
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        """)
+        assert program.instructions[1].target == program.label("loop")
+
+    def test_memory_ops(self):
+        program = assemble("""
+            load r2, r1, 16
+            store r2, r1, 8
+            clflush r1, 0
+            halt
+        """)
+        load, store, flush, _ = program.instructions
+        assert load.rd == 2 and load.rs1 == 1 and load.imm == 16
+        assert store.rs2 == 2 and store.rs1 == 1 and store.imm == 8
+        assert flush.rs1 == 1
+
+    def test_load_without_offset(self):
+        program = assemble("load r2, r1\nhalt\n")
+        assert program.instructions[0].imm == 0
+
+    def test_data_section(self):
+        program = assemble("""
+            halt
+        .data 0x4000
+            .word 1, 2, 0xff
+        """)
+        assert program.initial_memory == {0x4000: 1, 0x4008: 2, 0x4010: 0xFF}
+
+    def test_misc_instructions(self):
+        program = assemble("""
+            fence
+            rdcycle r9
+            nop
+            jmpi r3
+            jmp 0x1000
+            mov r1, r2
+            halt
+        """)
+        ops = [i.op for i in program.instructions]
+        assert ops == [Opcode.FENCE, Opcode.RDCYCLE, Opcode.NOP,
+                       Opcode.JMPI, Opcode.JMP, Opcode.MOV, Opcode.HALT]
+
+
+class TestAssembleErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            assemble("frobnicate r1, r2\n")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError):
+            assemble("li r32, 0\n")
+
+    def test_bad_integer(self):
+        with pytest.raises(AssemblyError):
+            assemble("li r1, banana\n")
+
+    def test_word_before_data(self):
+        with pytest.raises(AssemblyError):
+            assemble(".word 1\n")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r1, r2\n")
+
+    def test_undefined_branch_label(self):
+        with pytest.raises(AssemblyError):
+            assemble("jmp missing\n")
+
+
+class TestAssembledExecution:
+    def test_paper_listing_shape_runs(self):
+        """A transcription in the spirit of the paper's Listing 2."""
+        program = assemble("""
+            li   r1, 0x4000      ; base of array
+            li   r2, 1           ; size
+            li   r3, 0           ; x (in bounds)
+            bge  r3, r2, skip    ; bounds check
+            shli r4, r3, 3
+            add  r4, r1, r4
+            load r5, r4          ; array[x]
+        skip:
+            halt
+        .data 0x4000
+            .word 42
+        """)
+        result = run_oracle(program)
+        assert result.reg(5) == 42
+
+    def test_loop_sum(self):
+        program = assemble("""
+            li r1, 5
+            li r2, 0
+        loop:
+            add r2, r2, r1
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        """)
+        result = run_oracle(program)
+        assert result.reg(2) == 15

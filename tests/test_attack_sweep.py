@@ -1,0 +1,58 @@
+"""Tests for the statistical attack sweep."""
+import pytest
+
+from repro import SecurityConfig
+from repro.attacks import build_spectre_v1, sweep_attack
+from repro.attacks.evaluation import SweepResult
+from repro.attacks.harness import AttackResult
+
+
+def _result(secret, recovered, leaked):
+    return AttackResult(
+        name="x", mode="origin", secret=secret, recovered=recovered,
+        leaked=leaked, gap=0.0, timings=[], report=None,
+    )
+
+
+class TestSweepResultAccounting:
+    def test_accuracy(self):
+        sweep = SweepResult(name="x", mode="origin", results=[
+            _result(1, 1, True), _result(2, 2, True), _result(3, 7, True),
+        ])
+        assert sweep.accuracy == pytest.approx(2 / 3)
+        assert sweep.correct == 2
+        assert sweep.false_leaks == 1
+
+    def test_empty(self):
+        sweep = SweepResult(name="x", mode="origin")
+        assert sweep.accuracy == 0.0
+
+    def test_render(self):
+        sweep = SweepResult(name="a", mode="m",
+                            results=[_result(1, 1, True)])
+        assert "1/1" in sweep.render()
+
+
+class TestSweepExecution:
+    def test_origin_sweep_recovers_multiple_secrets(self):
+        sweep = sweep_attack(
+            lambda layout: build_spectre_v1(layout=layout),
+            SecurityConfig.origin(), secrets=[2, 11],
+        )
+        assert sweep.trials == 2
+        assert sweep.accuracy == 1.0
+
+    def test_defended_sweep_recovers_nothing(self):
+        sweep = sweep_attack(
+            lambda layout: build_spectre_v1(layout=layout),
+            SecurityConfig.cache_hit(), secrets=[2, 11],
+        )
+        assert sweep.accuracy == 0.0
+        assert sweep.false_leaks == 0
+
+    def test_same_page_sweep_layout(self):
+        sweep = sweep_attack(
+            lambda layout: build_spectre_v1(layout=layout),
+            SecurityConfig.origin(), secrets=[3], same_page=False,
+        )
+        assert sweep.results[0].secret == 3

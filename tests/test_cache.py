@@ -1,0 +1,167 @@
+"""Tests for the set-associative cache and LRU replacement state."""
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.replacement import LRUState, PendingLRUUpdates
+from repro.params import CacheParams
+
+
+def make_cache(size=1024, ways=2, line=64):
+    return SetAssociativeCache(CacheParams("T", size, ways, line, 1))
+
+
+class TestLRUState:
+    def test_initial_order(self):
+        assert LRUState(4).recency_order() == [0, 1, 2, 3]
+
+    def test_touch_moves_to_mru(self):
+        lru = LRUState(4)
+        lru.touch(0)
+        assert lru.mru_way() == 0
+        assert lru.lru_way() == 1
+
+    def test_victim_prefers_invalid(self):
+        lru = LRUState(4)
+        lru.touch(0)
+        assert lru.victim([True, True, False, True]) == 2
+
+    def test_victim_lru_when_all_valid(self):
+        lru = LRUState(3)
+        lru.touch(0)
+        lru.touch(2)
+        assert lru.victim([True] * 3) == 1
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=30))
+    def test_order_is_always_a_permutation(self, touches):
+        lru = LRUState(4)
+        for way in touches:
+            lru.touch(way)
+        assert sorted(lru.recency_order()) == [0, 1, 2, 3]
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=30))
+    def test_last_touched_is_mru(self, touches):
+        lru = LRUState(4)
+        for way in touches:
+            lru.touch(way)
+        assert lru.mru_way() == touches[-1]
+
+
+class TestPendingLRUUpdates:
+    def test_commit_returns_address(self):
+        pending = PendingLRUUpdates()
+        token = pending.record(0x1000)
+        assert pending.commit(token) == 0x1000
+        assert pending.commit(token) is None
+
+    def test_squash_drops(self):
+        pending = PendingLRUUpdates()
+        token = pending.record(0x2000)
+        pending.squash(token)
+        assert pending.commit(token) is None
+        assert len(pending) == 0
+
+
+class TestCacheBasics:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.access(0x1000).hit
+        assert cache.access(0x1000).hit
+
+    def test_same_line_offsets_hit(self):
+        cache = make_cache()
+        cache.access(0x1000)
+        assert cache.access(0x103F).hit
+        assert not cache.access(0x1040).hit
+
+    def test_contains_is_side_effect_free(self):
+        cache = make_cache(ways=2)
+        cache.access(0xA000)  # set 0 (1024B/2w/64B -> 8 sets)
+        cache.access(0xB000)
+        # Probing A must not refresh its recency.
+        assert cache.contains(0xA000)
+        cache.access(0xC000)  # evicts LRU = A
+        assert not cache.contains(0xA000)
+
+    def test_eviction_lru_order(self):
+        cache = make_cache(ways=2)
+        cache.access(0xA000)
+        cache.access(0xB000)
+        cache.access(0xA000)          # A is now MRU
+        result = cache.access(0xC000)
+        assert result.evicted_line_addr == 0xB000
+
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.access(0x1000)
+        assert cache.invalidate(0x1000)
+        assert not cache.contains(0x1000)
+        assert not cache.invalidate(0x1000)
+
+    def test_fill_of_resident_line_evicts_nothing(self):
+        cache = make_cache()
+        cache.fill(0x1000)
+        assert cache.fill(0x1000) is None
+
+    def test_touch_returns_false_when_absent(self):
+        cache = make_cache()
+        assert not cache.touch(0x5000)
+        cache.fill(0x5000)
+        assert cache.touch(0x5000)
+
+    def test_flush_all(self):
+        cache = make_cache()
+        cache.access(0x1000)
+        cache.access(0x2000)
+        cache.flush_all()
+        assert cache.resident_lines() == []
+
+    def test_stats_and_hit_rate(self):
+        cache = make_cache()
+        cache.access(0x1000)
+        cache.access(0x1000)
+        cache.access(0x1000)
+        assert cache.stats.get("hits") == 2
+        assert cache.stats.get("misses") == 1
+        assert cache.hit_rate() == pytest.approx(2 / 3)
+
+    def test_empty_hit_rate_is_zero(self):
+        assert make_cache().hit_rate() == 0.0
+
+    def test_lines_in_set_roundtrip(self):
+        cache = make_cache(ways=2)
+        cache.access(0xA040)
+        set_index = cache.set_index(0xA040)
+        lines = cache.lines_in_set(set_index)
+        assert 0xA040 in lines
+
+
+class TestCacheProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=200))
+    def test_capacity_never_exceeded(self, line_indexes):
+        cache = make_cache(size=512, ways=2, line=64)  # 8 lines, 4 sets
+        for index in line_indexes:
+            cache.access(index * 64)
+        assert len(cache.resident_lines()) <= 8
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=100))
+    def test_most_recent_line_always_resident(self, line_indexes):
+        cache = make_cache(size=512, ways=2, line=64)
+        for index in line_indexes:
+            cache.access(index * 64)
+        assert cache.contains(line_indexes[-1] * 64)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=50))
+    def test_within_ways_accesses_never_evict(self, way_choices):
+        """Touching at most `ways` distinct lines of one set never
+        misses after the first access to each."""
+        cache = make_cache(size=512, ways=4, line=64)
+        seen = set()
+        for choice in way_choices:
+            addr = 0x1000 + choice * 512  # same set, different tags
+            hit = cache.access(addr).hit
+            assert hit == (choice in seen)
+            seen.add(choice)

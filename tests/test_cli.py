@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "prog.s"])
+        assert args.machine == "paper"
+        assert args.mode == "cache_hit_tpbuf"
+
+    def test_attack_choices(self):
+        args = build_parser().parse_args(
+            ["attack", "v1", "--channel", "prime+probe", "--same-page"]
+        )
+        assert args.variant == "v1" and args.same_page
+
+    def test_bad_variant_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attack", "v9"])
+
+
+class TestCommands:
+    def test_run_program(self, tmp_path, capsys):
+        source = tmp_path / "prog.s"
+        source.write_text("li r1, 5\naddi r1, r1, 2\nhalt\n")
+        code = main(["run", str(source), "--machine", "tiny", "--regs"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "halted=True" in out
+        assert "r1 = 0x7" in out
+
+    def test_run_non_halting_returns_error(self, tmp_path, capsys):
+        source = tmp_path / "spin.s"
+        source.write_text("loop:\njmp loop\n")
+        code = main(["run", str(source), "--machine", "tiny",
+                     "--max-cycles", "2000"])
+        assert code == 1
+
+    def test_attack_v1_origin(self, capsys):
+        code = main(["attack", "v1", "--mode", "origin"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "LEAKED" in out
+
+    def test_attack_v1_defended(self, capsys):
+        code = main(["attack", "v1", "--mode", "cache_hit_tpbuf"])
+        out = capsys.readouterr().out
+        assert "no-leak" in out
+
+    def test_bench_command(self, capsys):
+        code = main(["bench", "hmmer", "--scale", "0.05",
+                     "--machine", "tiny"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "origin" in out and "cache_hit_tpbuf" in out
+
+    def test_bench_unknown_benchmark(self, capsys):
+        assert main(["bench", "nonesuch"]) == 2
+
+    def test_area_command(self, capsys):
+        assert main(["area"]) == 0
+        assert "mm^2" in capsys.readouterr().out
+
+    def test_figure5_subset(self, capsys):
+        code = main(["figure5", "--scale", "0.05", "hmmer"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "hmmer" in out and "average" in out
+
+    def test_table5_subset(self, capsys):
+        code = main(["table5", "--scale", "0.05", "hmmer"])
+        assert code == 0
+        assert "S-mismatch" in capsys.readouterr().out

@@ -1,0 +1,75 @@
+"""Tests for the gadget emitters' functional correctness (verified
+through the oracle - the gadget arithmetic must compute the addresses
+the attacks rely on)."""
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attacks.gadgets import (
+    emit_bounds_check_gadget,
+    emit_scaled_offset,
+    emit_transmit,
+)
+from repro.attacks.layout import AttackLayout
+from repro.isa import ProgramBuilder, run_oracle
+
+
+class TestScaledOffset:
+    @settings(max_examples=40, deadline=None)
+    @given(value=st.integers(0, 255),
+           stride=st.sampled_from([8, 64, 4096, 4160, 4096 + 64 + 8]))
+    def test_computes_value_times_stride(self, value, stride):
+        b = ProgramBuilder()
+        b.li(1, value)
+        emit_scaled_offset(b, dst=2, src=1, scratch=3, stride=stride)
+        b.halt()
+        assert run_oracle(b.build()).reg(2) == value * stride
+
+    def test_zero_stride_yields_zero(self):
+        b = ProgramBuilder()
+        b.li(1, 7)
+        emit_scaled_offset(b, dst=2, src=1, scratch=3, stride=0)
+        b.halt()
+        assert run_oracle(b.build()).reg(2) == 0
+
+
+class TestTransmit:
+    def test_transmit_address(self):
+        layout = AttackLayout()
+        b = ProgramBuilder()
+        b.li(13, 5)
+        emit_transmit(b, layout, 13)
+        b.halt()
+        result = run_oracle(b.build(), trace=True)
+        transmit_loads = [entry for entry in result.load_trace
+                          if entry[1] >= layout.probe_base]
+        assert transmit_loads
+        assert transmit_loads[-1][1] == layout.probe_line(5)
+
+
+class TestBoundsCheckGadget:
+    def _run(self, x, size=1):
+        layout = AttackLayout()
+        b = ProgramBuilder()
+        b.data_word(layout.size_addr, size)
+        b.data_word(layout.array1_base, 2)
+        b.li(16, x)
+        emit_bounds_check_gadget(b, layout, "t")
+        b.halt()
+        return run_oracle(b.build(), trace=True), layout
+
+    def test_in_bounds_transmits_architecturally(self):
+        result, layout = self._run(x=0)
+        probe_accesses = [entry for entry in result.load_trace
+                          if entry[1] >= layout.probe_base]
+        # array1[0] = 2 -> probe_line(2)
+        assert probe_accesses[-1][1] == layout.probe_line(2)
+
+    def test_out_of_bounds_skips_architecturally(self):
+        result, layout = self._run(x=layout_oob())
+        probe_accesses = [entry for entry in result.load_trace
+                          if entry[1] >= layout.probe_base]
+        assert probe_accesses == []
+
+
+def layout_oob():
+    return AttackLayout().oob_index

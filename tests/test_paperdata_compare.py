@@ -1,0 +1,82 @@
+"""Tests for the transcribed paper data and the comparison utilities."""
+import pytest
+
+from repro import paperdata
+from repro.experiments.compare import (
+    compare_figure5,
+    compare_table5,
+    rank_correlation,
+)
+from repro.workloads import spec_names
+
+
+class TestPaperData:
+    def test_table5_covers_all_benchmarks(self):
+        assert set(paperdata.TABLE5) == set(spec_names())
+
+    def test_table6_covers_all_benchmarks(self):
+        assert set(paperdata.TABLE6) == set(spec_names())
+
+    def test_table5_values_are_fractions(self):
+        for name, row in paperdata.TABLE5.items():
+            for value in (row.l1_hit_rate, row.baseline_blocked,
+                          row.cachehit_blocked, row.spec_hit_rate,
+                          row.tpbuf_blocked, row.spattern_mismatch):
+                assert 0.0 <= value <= 1.0, name
+
+    def test_headline_numbers(self):
+        assert paperdata.FIGURE5_AVERAGES["baseline"] == 0.536
+        assert paperdata.TABLE5_AVERAGE.baseline_blocked == 0.736
+        assert paperdata.TABLE5["lbm"].spattern_mismatch == 0.862
+        assert paperdata.TABLE5["libquantum"].spattern_mismatch == 0.001
+
+    def test_table6_ordering_matches_prose(self):
+        """The paper: 6.0% on A57-like up to 9.6% on Xeon-like."""
+        avg = paperdata.TABLE6_AVERAGE
+        assert avg.a57_tpbuf < avg.i7_tpbuf <= avg.xeon_tpbuf
+
+    def test_paper_internal_consistency(self):
+        """Within Table V, TPBuf never blocks more than Cache-hit."""
+        for name, row in paperdata.TABLE5.items():
+            assert row.tpbuf_blocked <= row.cachehit_blocked + 1e-9, name
+
+
+class TestRankCorrelation:
+    def test_perfect_agreement(self):
+        assert rank_correlation([1, 2, 3], [10, 20, 30]) == \
+            pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        assert rank_correlation([1, 2, 3], [30, 20, 10]) == \
+            pytest.approx(-1.0)
+
+    def test_ties_handled(self):
+        rho = rank_correlation([1, 1, 2], [5, 5, 9])
+        assert rho == pytest.approx(1.0)
+
+    def test_constant_sequence_is_zero(self):
+        assert rank_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            rank_correlation([1], [1, 2])
+
+    def test_short_input(self):
+        assert rank_correlation([1], [2]) == 0.0
+
+
+class TestComparisons:
+    def test_compare_table5_renders(self):
+        from repro.experiments import run_table5
+        result = run_table5(benchmarks=["hmmer", "lbm", "mcf"], scale=0.1)
+        text = compare_table5(result)
+        assert "measured vs paper" in text
+        assert "rho=" in text
+        assert "lbm" in text
+
+    def test_compare_figure5_renders(self):
+        from repro.experiments import run_figure5
+        result = run_figure5(benchmarks=["hmmer", "lbm", "mcf"], scale=0.1)
+        text = compare_figure5(result)
+        assert "paper  53.6%" in text
+        assert "rank correlation" in text

@@ -1,0 +1,341 @@
+"""Unit tests for rename, ROB, issue queue, LSQ, store buffer and the
+event queue."""
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tpbuf import TPBuf
+from repro.errors import SimulationError
+from repro.isa.instructions import Instruction, Opcode
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.params import tiny_config
+from repro.pipeline.dyninst import DynInst, InstState
+from repro.pipeline.events import EventQueue
+from repro.pipeline.issue_queue import IssueQueue
+from repro.pipeline.lsq import LoadStoreQueue
+from repro.pipeline.rename import RenameState
+from repro.pipeline.rob import ReorderBuffer
+from repro.pipeline.store_buffer import StoreBuffer
+
+
+def dyninst(seq, op=Opcode.ADD, **kwargs):
+    return DynInst(seq, 0x1000 + 4 * seq, Instruction(op, **kwargs))
+
+
+class TestRename:
+    def test_initial_identity_mapping(self):
+        rename = RenameState(8, 24)
+        assert [rename.lookup(i) for i in range(8)] == list(range(8))
+
+    def test_allocate_and_write(self):
+        rename = RenameState(8, 24)
+        new, old = rename.allocate(3)
+        assert old == 3 and new >= 8
+        assert not rename.is_ready(new)
+        rename.write(new, 42)
+        assert rename.is_ready(new)
+        assert rename.architectural_value(3) == 42
+
+    def test_rollback_restores_mapping(self):
+        rename = RenameState(8, 24)
+        new, old = rename.allocate(3)
+        rename.rollback(3, new, old)
+        assert rename.lookup(3) == old
+
+    def test_rollback_out_of_order_detected(self):
+        rename = RenameState(8, 24)
+        new1, old1 = rename.allocate(3)
+        rename.allocate(3)
+        with pytest.raises(SimulationError):
+            rename.rollback(3, new1, old1)   # must roll back youngest first
+
+    def test_exhaustion(self):
+        rename = RenameState(8, 10)
+        rename.allocate(1)
+        rename.allocate(2)
+        assert not rename.can_allocate()
+        with pytest.raises(SimulationError):
+            rename.allocate(3)
+
+    def test_release_recycles(self):
+        rename = RenameState(8, 9)
+        new, old = rename.allocate(1)
+        rename.release(old)    # commit frees the previous mapping
+        assert rename.can_allocate()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(1, 7), min_size=1, max_size=10))
+    def test_allocate_rollback_is_identity(self, regs):
+        rename = RenameState(8, 40)
+        baseline = rename.mapping_snapshot()
+        history = [(reg, *rename.allocate(reg)) for reg in regs]
+        for reg, new, old in reversed(history):
+            rename.rollback(reg, new, old)
+        assert rename.mapping_snapshot() == baseline
+        rename.check_free_list_integrity()
+
+
+class TestROB:
+    def test_fifo_order(self):
+        rob = ReorderBuffer(4)
+        a, b = dyninst(1), dyninst(2)
+        rob.append(a)
+        rob.append(b)
+        assert rob.head() is a
+        assert rob.pop_head() is a
+        assert rob.head() is b
+
+    def test_full_and_empty(self):
+        rob = ReorderBuffer(2)
+        assert rob.empty
+        rob.append(dyninst(1))
+        rob.append(dyninst(2))
+        assert rob.full
+
+    def test_squash_younger_than_returns_youngest_first(self):
+        rob = ReorderBuffer(8)
+        insts = [dyninst(i) for i in range(1, 6)]
+        for inst in insts:
+            rob.append(inst)
+        squashed = rob.squash_younger_than(2)
+        assert [i.seq for i in squashed] == [5, 4, 3]
+        assert len(rob) == 2
+
+    def test_is_head(self):
+        rob = ReorderBuffer(4)
+        a = dyninst(1)
+        rob.append(a)
+        assert rob.is_head(a)
+        assert not rob.is_head(dyninst(2))
+
+
+class TestIssueQueue:
+    def test_insert_assigns_slot(self):
+        iq = IssueQueue(4)
+        inst = dyninst(1, Opcode.LOAD, rd=1, rs1=2)
+        pos = iq.insert(inst, 0)
+        assert inst.iq_pos == pos
+        assert iq.occupancy() == 1
+
+    def test_producer_mask_tracks_unissued_mem_and_branches(self):
+        iq = IssueQueue(8)
+        load = dyninst(1, Opcode.LOAD, rd=1, rs1=2)
+        branch = dyninst(2, Opcode.BNE, rs1=1, rs2=2)
+        alu = dyninst(3, Opcode.ADD, rd=1, rs1=2, rs2=3)
+        iq.insert(load, 0)
+        iq.insert(branch, 0)
+        iq.insert(alu, 0)
+        mask = iq.producer_mask()
+        assert mask & (1 << load.iq_pos)
+        assert mask & (1 << branch.iq_pos)
+        assert not mask & (1 << alu.iq_pos)
+
+    def test_branch_only_mask(self):
+        iq = IssueQueue(8)
+        load = dyninst(1, Opcode.LOAD, rd=1, rs1=2)
+        branch = dyninst(2, Opcode.BNE, rs1=1, rs2=2)
+        iq.insert(load, 0)
+        iq.insert(branch, 0)
+        mask = iq.branch_producer_mask()
+        assert not mask & (1 << load.iq_pos)
+        assert mask & (1 << branch.iq_pos)
+
+    def test_issued_producer_leaves_mask(self):
+        iq = IssueQueue(8)
+        branch = dyninst(1, Opcode.BNE, rs1=1, rs2=2)
+        iq.insert(branch, 0)
+        iq.mark_issued(branch)
+        assert iq.producer_mask() == 0
+
+    def test_memory_consumer_gets_row(self):
+        iq = IssueQueue(8)
+        branch = dyninst(1, Opcode.BNE, rs1=1, rs2=2)
+        iq.insert(branch, 0)
+        load = dyninst(2, Opcode.LOAD, rd=1, rs1=2)
+        iq.insert(load, iq.producer_mask())
+        assert iq.has_security_dependence(load)
+
+    def test_non_memory_consumer_gets_empty_row(self):
+        iq = IssueQueue(8)
+        branch = dyninst(1, Opcode.BNE, rs1=1, rs2=2)
+        iq.insert(branch, 0)
+        alu = dyninst(2, Opcode.ADD, rd=1, rs1=2, rs2=3)
+        iq.insert(alu, iq.producer_mask())
+        assert not iq.has_security_dependence(alu)
+
+    def test_dependence_clears_next_cycle_after_producer_issue(self):
+        iq = IssueQueue(8)
+        branch = dyninst(1, Opcode.BNE, rs1=1, rs2=2)
+        iq.insert(branch, 0)
+        load = dyninst(2, Opcode.LOAD, rd=1, rs1=2)
+        iq.insert(load, iq.producer_mask())
+        iq.mark_issued(branch)
+        assert iq.has_security_dependence(load)   # same cycle: suspect
+        iq.end_cycle()
+        assert not iq.has_security_dependence(load)
+
+    def test_load_keeps_slot_at_issue(self):
+        iq = IssueQueue(8)
+        load = dyninst(1, Opcode.LOAD, rd=1, rs1=2)
+        iq.insert(load, 0)
+        iq.mark_issued(load)
+        assert load.iq_pos is not None
+        iq.release(load)
+        iq.end_cycle()
+        assert iq.occupancy() == 0
+
+    def test_slot_not_reusable_until_end_cycle(self):
+        iq = IssueQueue(1)
+        branch = dyninst(1, Opcode.BNE, rs1=1, rs2=2)
+        iq.insert(branch, 0)
+        iq.mark_issued(branch)   # releases (non-load) ...
+        assert iq.full           # ... but the slot recycles at end_cycle
+        iq.end_cycle()
+        assert not iq.full
+
+
+class TestLSQ:
+    def _lsq(self, tpbuf=None):
+        return LoadStoreQueue(4, 4, tpbuf=tpbuf)
+
+    def _load(self, seq, vaddr=None):
+        inst = dyninst(seq, Opcode.LOAD, rd=1, rs1=2)
+        if vaddr is not None:
+            inst.vaddr = vaddr
+            inst.addr_ready = True
+        return inst
+
+    def _store(self, seq, vaddr=None, data_ready=False):
+        inst = dyninst(seq, Opcode.STORE, rs1=1, rs2=2)
+        if vaddr is not None:
+            inst.vaddr = vaddr
+            inst.addr_ready = True
+        inst.store_data_ready = data_ready
+        inst.value = 99
+        return inst
+
+    def test_allocation_capacity(self):
+        lsq = self._lsq()
+        for seq in range(4):
+            lsq.allocate_load(self._load(seq))
+        assert not lsq.can_allocate_load()
+        assert lsq.can_allocate_store()
+
+    def test_release_recycles_slot(self):
+        lsq = self._lsq()
+        load = self._load(1)
+        lsq.allocate_load(load)
+        lsq.release(load)
+        assert lsq.load_occupancy() == 0
+
+    def test_forward_from_youngest_matching_store(self):
+        lsq = self._lsq()
+        s1 = self._store(1, vaddr=0x100, data_ready=True)
+        s2 = self._store(2, vaddr=0x100, data_ready=True)
+        load = self._load(3, vaddr=0x100)
+        for inst in (s1, s2, load):
+            if inst.instr.is_store:
+                lsq.allocate_store(inst)
+            else:
+                lsq.allocate_load(inst)
+        decision = lsq.check_load(load)
+        assert decision.source is s2
+        assert not decision.speculation_hazard
+
+    def test_unknown_address_store_is_a_hazard(self):
+        lsq = self._lsq()
+        store = self._store(1)                    # address unknown
+        load = self._load(2, vaddr=0x100)
+        lsq.allocate_store(store)
+        lsq.allocate_load(load)
+        decision = lsq.check_load(load)
+        assert decision.speculation_hazard
+        assert decision.source is None
+
+    def test_known_younger_source_dominates_older_unknown(self):
+        lsq = self._lsq()
+        unknown = self._store(1)
+        known = self._store(2, vaddr=0x100, data_ready=True)
+        load = self._load(3, vaddr=0x100)
+        lsq.allocate_store(unknown)
+        lsq.allocate_store(known)
+        lsq.allocate_load(load)
+        decision = lsq.check_load(load)
+        assert decision.source is known
+        assert not decision.speculation_hazard
+
+    def test_different_word_does_not_forward(self):
+        lsq = self._lsq()
+        store = self._store(1, vaddr=0x108, data_ready=True)
+        load = self._load(2, vaddr=0x100)
+        lsq.allocate_store(store)
+        lsq.allocate_load(load)
+        assert lsq.check_load(load).source is None
+
+    def test_violating_loads_detected(self):
+        lsq = self._lsq()
+        store = self._store(1, vaddr=0x100)
+        load = self._load(2, vaddr=0x100)
+        load.speculated_past_store = True
+        lsq.allocate_store(store)
+        lsq.allocate_load(load)
+        assert lsq.violating_loads(store) == [load]
+
+    def test_load_forwarded_from_younger_store_does_not_violate(self):
+        lsq = self._lsq()
+        old_store = self._store(1, vaddr=0x100)
+        young_store = self._store(2, vaddr=0x100, data_ready=True)
+        load = self._load(3, vaddr=0x100)
+        load.speculated_past_store = True
+        load.forward_seq = 2
+        lsq.allocate_store(old_store)
+        lsq.allocate_store(young_store)
+        lsq.allocate_load(load)
+        assert lsq.violating_loads(old_store) == []
+
+    def test_tpbuf_mirrors_lsq_lifecycle(self):
+        tpbuf = TPBuf(8)
+        lsq = self._lsq(tpbuf=tpbuf)
+        load = self._load(1)
+        store = self._store(2)
+        lsq.allocate_load(load)
+        lsq.allocate_store(store)
+        assert tpbuf.allocated_count() == 2
+        assert store.tpbuf_index == 4 + store.lsq_slot
+        lsq.release(load)
+        assert tpbuf.allocated_count() == 1
+
+
+class TestStoreBufferAndEvents:
+    def test_store_buffer_drains_in_background(self):
+        hierarchy = MemoryHierarchy(tiny_config().memory)
+        buffer = StoreBuffer(2, hierarchy)
+        buffer.push(0x1000)
+        assert len(buffer) == 1
+        cycle = 0
+        while len(buffer) and cycle < 1000:
+            cycle += 1
+            buffer.tick(cycle)
+        assert len(buffer) == 0
+        assert hierarchy.l1d.contains(0x1000)
+
+    def test_store_buffer_full(self):
+        hierarchy = MemoryHierarchy(tiny_config().memory)
+        buffer = StoreBuffer(1, hierarchy)
+        buffer.push(0x1000)
+        assert buffer.full
+
+    def test_event_queue_fires_in_cycle_order(self):
+        events = EventQueue()
+        fired = []
+        events.schedule(5, lambda: fired.append("a"))
+        events.schedule(3, lambda: fired.append("b"))
+        for cycle in range(1, 7):
+            events.fire(cycle)
+        assert fired == ["b", "a"]
+        assert events.pending == 0
+
+    def test_event_queue_clear(self):
+        events = EventQueue()
+        events.schedule(1, lambda: None)
+        events.clear()
+        assert events.fire(1) == 0

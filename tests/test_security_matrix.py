@@ -1,0 +1,114 @@
+"""Tests for the security dependence matrix (Section V.B semantics)."""
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.security_matrix import SecurityDependenceMatrix
+from repro.errors import ConfigError
+
+
+class TestRowInstallation:
+    def test_row_or_reflects_producers(self):
+        matrix = SecurityDependenceMatrix(8)
+        matrix.set_row(3, 0b0000_0110)
+        assert matrix.has_dependence(3)
+        assert matrix.dependence_count(3) == 2
+
+    def test_empty_row_has_no_dependence(self):
+        matrix = SecurityDependenceMatrix(8)
+        matrix.set_row(3, 0)
+        assert not matrix.has_dependence(3)
+
+    def test_self_bit_is_masked(self):
+        matrix = SecurityDependenceMatrix(8)
+        matrix.set_row(3, 1 << 3)
+        assert not matrix.has_dependence(3)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ConfigError):
+            SecurityDependenceMatrix(0)
+
+
+class TestClearance:
+    def test_scheduled_clear_applies_at_cycle_boundary(self):
+        """The Update Vector Register semantics: a producer's column
+        stays visible until apply_clears - the same-cycle consumer is
+        still tagged suspect."""
+        matrix = SecurityDependenceMatrix(8)
+        matrix.set_row(3, 0b10)     # depends on slot 1
+        matrix.schedule_clear(1)
+        assert matrix.has_dependence(3)     # same cycle: still set
+        matrix.apply_clears()
+        assert not matrix.has_dependence(3)
+
+    def test_clear_affects_whole_column(self):
+        matrix = SecurityDependenceMatrix(8)
+        matrix.set_row(3, 0b10)
+        matrix.set_row(5, 0b10)
+        matrix.schedule_clear(1)
+        matrix.apply_clears()
+        assert not matrix.has_dependence(3)
+        assert not matrix.has_dependence(5)
+
+    def test_clear_leaves_other_columns(self):
+        matrix = SecurityDependenceMatrix(8)
+        matrix.set_row(3, 0b110)
+        matrix.schedule_clear(1)
+        matrix.apply_clears()
+        assert matrix.has_dependence(3)     # still depends on slot 2
+
+    def test_clear_entry_removes_row_and_column(self):
+        matrix = SecurityDependenceMatrix(8)
+        matrix.set_row(3, 0b10)
+        matrix.set_row(1, 0b1000)
+        matrix.clear_entry(1)
+        assert not matrix.has_dependence(1)
+        assert not matrix.has_dependence(3)
+
+    def test_clear_entry_cancels_pending_update(self):
+        matrix = SecurityDependenceMatrix(8)
+        matrix.set_row(3, 0b10)
+        matrix.schedule_clear(1)
+        matrix.clear_entry(1)
+        matrix.apply_clears()   # must not blow up / double clear
+        assert matrix.is_empty() or not matrix.has_dependence(3)
+
+    def test_reset(self):
+        matrix = SecurityDependenceMatrix(8)
+        matrix.set_row(2, 0b1)
+        matrix.schedule_clear(0)
+        matrix.reset()
+        assert matrix.is_empty()
+
+
+class TestColumnMask:
+    def test_column_mask(self):
+        matrix = SecurityDependenceMatrix(8)
+        matrix.set_row(3, 0b10)
+        matrix.set_row(6, 0b10)
+        assert matrix.column_mask(1) == (1 << 3) | (1 << 6)
+
+
+class TestMatrixProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, (1 << 16) - 1)),
+        min_size=1, max_size=40,
+    ))
+    def test_clearing_every_column_empties_all_rows(self, installs):
+        matrix = SecurityDependenceMatrix(16)
+        for pos, mask in installs:
+            matrix.set_row(pos, mask)
+        for pos in range(16):
+            matrix.schedule_clear(pos)
+        matrix.apply_clears()
+        for pos in range(16):
+            assert not matrix.has_dependence(pos)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 15), st.integers(0, (1 << 16) - 1),
+           st.integers(0, 15))
+    def test_dependence_matches_column_membership(self, row, mask, col):
+        matrix = SecurityDependenceMatrix(16)
+        matrix.set_row(row, mask)
+        expected = bool(mask & ~(1 << row) & (1 << col))
+        assert bool(matrix.column_mask(col) & (1 << row)) == expected

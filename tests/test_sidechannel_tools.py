@@ -1,0 +1,148 @@
+"""Tests for the side-channel receivers' decode logic, the eviction-set
+allocator, and the attack layout/page-table construction."""
+import pytest
+
+from repro import paper_config
+from repro.attacks.evictset import EvictionAllocator, cache_set_of
+from repro.attacks.layout import AttackLayout
+from repro.attacks.sidechannel import (
+    Channel,
+    EvictReloadChannel,
+    FlushFlushChannel,
+    FlushReloadChannel,
+    PrimeProbeChannel,
+)
+from repro.errors import SimulationError
+from repro.memory.tlb import PageTable
+
+
+class TestDecode:
+    def _fast_hit_channel(self):
+        channel = FlushReloadChannel()
+        return channel
+
+    def test_fast_is_hit_decoding(self):
+        channel = self._fast_hit_channel()
+        timings = [260] * 16
+        timings[7] = 5
+        verdict = channel.decode(timings)
+        assert verdict.leaked and verdict.recovered == 7
+
+    def test_no_signal_means_no_leak(self):
+        channel = self._fast_hit_channel()
+        verdict = channel.decode([260] * 16)
+        assert not verdict.leaked and verdict.recovered is None
+
+    def test_slow_is_hit_decoding(self):
+        channel = FlushFlushChannel()
+        timings = [14] * 16
+        timings[3] = 44
+        verdict = channel.decode(timings)
+        assert verdict.leaked and verdict.recovered == 3
+
+    def test_gap_below_threshold_rejected(self):
+        channel = self._fast_hit_channel()   # threshold 30
+        timings = [260] * 16
+        timings[7] = 250
+        assert not channel.decode(timings).leaked
+
+    def test_exclude_removes_polluted_candidate(self):
+        channel = self._fast_hit_channel()
+        timings = [260] * 16
+        timings[0] = 4    # polluted (e.g. V4 re-execution)
+        timings[7] = 5    # the real signal
+        verdict = channel.decode(timings, exclude=frozenset({0}))
+        assert verdict.recovered == 7
+
+    def test_empty_timings(self):
+        verdict = self._fast_hit_channel().decode([])
+        assert not verdict.leaked
+
+
+class TestEvictionAllocator:
+    def test_addresses_map_to_target_set(self):
+        table = PageTable()
+        allocator = EvictionAllocator(table, region_base=0x800000)
+        l1 = paper_config().memory.l1d
+        target = 0x12345
+        target_paddr = table.physical_address(target)
+        target_set = cache_set_of(target_paddr, l1)
+        vaddrs = allocator.eviction_set_for(target, l1)
+        assert len(vaddrs) == l1.ways + 1
+        for vaddr in vaddrs:
+            assert cache_set_of(table.physical_address(vaddr), l1) \
+                == target_set
+
+    def test_addresses_are_distinct_lines(self):
+        table = PageTable()
+        allocator = EvictionAllocator(table, region_base=0x800000)
+        l3 = paper_config().memory.l3
+        vaddrs = allocator.eviction_set_for(0x5000, l3)
+        lines = {table.physical_address(v) >> 6 for v in vaddrs}
+        assert len(lines) == len(vaddrs)
+
+    def test_impossible_request_raises(self):
+        table = PageTable()
+        allocator = EvictionAllocator(table, region_base=0x800000)
+        l1 = paper_config().memory.l1d
+        with pytest.raises(SimulationError):
+            allocator.addresses_for_set(0, l1, count=10_000, max_pages=4)
+
+
+class TestAttackLayout:
+    def test_oob_index_reaches_secret(self):
+        layout = AttackLayout()
+        assert layout.array1_base + 8 * layout.oob_index \
+            == layout.secret_addr
+
+    def test_cross_page_probe_lines_distinct_pages_and_sets(self):
+        layout = AttackLayout()
+        pages = {layout.probe_line(v) // 4096 for v in range(16)}
+        offsets = {layout.probe_line(v) % 4096 // 64 for v in range(16)}
+        assert len(pages) == 16
+        assert len(offsets) == 16
+
+    def test_initial_data_has_training_inputs(self):
+        layout = AttackLayout(n_train=3)
+        data = layout.initial_data()
+        assert data[layout.input_addr(0)] == 0
+        assert data[layout.input_addr(3)] == layout.oob_index
+
+    def test_page_table_shares_probe_when_asked(self):
+        layout = AttackLayout()
+        shared = layout.build_page_table(shared_probe=True)
+        for value in range(layout.n_values):
+            assert shared.physical_address(layout.probe_line(value)) == \
+                shared.physical_address(layout.attacker_probe_line(value))
+
+    def test_page_table_without_sharing(self):
+        layout = AttackLayout()
+        table = layout.build_page_table(shared_probe=False)
+        # Attacker alias pages simply don't exist yet.
+        assert table.lookup(layout.attacker_probe_line(0) // 4096) is None
+
+    def test_invalid_secret_rejected(self):
+        with pytest.raises(SimulationError):
+            AttackLayout(n_values=8, secret_value=9)
+
+    def test_same_page_overlap_guard(self):
+        with pytest.raises(SimulationError):
+            AttackLayout.same_page(n_values=256)
+
+
+class TestChannelConfig:
+    def test_shared_requirements(self):
+        assert FlushReloadChannel.requires_shared_probe
+        assert FlushFlushChannel.requires_shared_probe
+        assert EvictReloadChannel.requires_shared_probe
+        assert not PrimeProbeChannel.requires_shared_probe
+
+    def test_hit_direction(self):
+        assert not FlushReloadChannel.slow_is_hit
+        assert FlushFlushChannel.slow_is_hit
+        assert PrimeProbeChannel.slow_is_hit
+
+    def test_channel_names_unique(self):
+        from repro.attacks.sidechannel import ALL_CHANNELS
+        names = [cls.name for cls in ALL_CHANNELS]
+        assert len(set(names)) == len(names)

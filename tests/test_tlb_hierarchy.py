@@ -1,0 +1,184 @@
+"""Tests for the page table, TLB and the inclusive cache hierarchy."""
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.memory.hierarchy import (
+    FLUSH_ABSENT_LATENCY,
+    FLUSH_PRESENT_LATENCY,
+    MemoryHierarchy,
+)
+from repro.memory.tlb import TLB, PageTable
+from repro.params import MemoryParams, TLBParams, tiny_config
+
+
+class TestPageTable:
+    def test_on_demand_allocation_is_sequential(self):
+        table = PageTable(first_ppn=0x100)
+        first = table.translate_vpn(7)
+        second = table.translate_vpn(9)
+        assert (first, second) == (0x100, 0x101)
+
+    def test_repeated_translation_is_stable(self):
+        table = PageTable()
+        assert table.translate_vpn(5) == table.translate_vpn(5)
+
+    def test_map_shared_aliases_physical_page(self):
+        table = PageTable()
+        table.map_page(1)
+        table.map_shared(2, 1)
+        assert table.translate_vpn(1) == table.translate_vpn(2)
+
+    def test_map_shared_rejects_conflicting_mapping(self):
+        table = PageTable()
+        table.map_page(1)
+        table.map_page(2)
+        with pytest.raises(SimulationError):
+            table.map_shared(2, 1)
+
+    def test_double_map_rejected(self):
+        table = PageTable()
+        table.map_page(3)
+        with pytest.raises(SimulationError):
+            table.map_page(3)
+
+    def test_physical_address_preserves_offset(self):
+        table = PageTable()
+        paddr = table.physical_address(0x1234)
+        assert paddr & 0xFFF == 0x234
+
+    def test_no_allocation_mode_faults(self):
+        table = PageTable(allocate_on_access=False)
+        with pytest.raises(SimulationError):
+            table.translate_vpn(1)
+
+
+class TestTLB:
+    def _tlb(self, entries=4):
+        table = PageTable()
+        return TLB(TLBParams(entries=entries), table, "t")
+
+    def test_miss_then_hit(self):
+        tlb = self._tlb()
+        first = tlb.translate(0x1000)
+        second = tlb.translate(0x1008)
+        assert not first.tlb_hit and second.tlb_hit
+        assert first.ppn == second.ppn
+        assert second.latency < first.latency
+
+    def test_capacity_eviction_is_lru(self):
+        tlb = self._tlb(entries=2)
+        tlb.translate(0x1000)
+        tlb.translate(0x2000)
+        tlb.translate(0x1000)          # page 1 now MRU
+        tlb.translate(0x3000)          # evicts page 2
+        assert tlb.translate(0x1000).tlb_hit
+        assert not tlb.translate(0x2000).tlb_hit
+
+    def test_flush(self):
+        tlb = self._tlb()
+        tlb.translate(0x1000)
+        tlb.flush()
+        assert not tlb.translate(0x1000).tlb_hit
+
+    def test_page_size_mismatch_rejected(self):
+        table = PageTable(page_bytes=4096)
+        with pytest.raises(SimulationError):
+            TLB(TLBParams(page_bytes=8192), table)
+
+
+class TestHierarchy:
+    def _hierarchy(self):
+        return MemoryHierarchy(tiny_config().memory)
+
+    def test_miss_fills_all_levels(self):
+        h = self._hierarchy()
+        result = h.data_access(0x1000)
+        assert result.level == "mem" and not result.l1_hit
+        assert h.l1d.contains(0x1000)
+        assert h.l2.contains(0x1000)
+        assert h.l3.contains(0x1000)
+
+    def test_latencies_accumulate_down_the_hierarchy(self):
+        h = self._hierarchy()
+        p = tiny_config().memory
+        miss = h.data_access(0x1000)
+        assert miss.latency == (p.l1d.hit_latency + p.l2.hit_latency
+                                + p.l3.hit_latency + p.dram_latency)
+        hit = h.data_access(0x1000)
+        assert hit.latency == p.l1d.hit_latency and hit.l1_hit
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = self._hierarchy()
+        h.data_access(0x1000)
+        h.l1d.invalidate(0x1000)
+        result = h.data_access(0x1000)
+        assert result.level == "l2"
+
+    def test_flush_line_removes_everywhere_and_times_presence(self):
+        h = self._hierarchy()
+        h.data_access(0x1000)
+        latency, present = h.flush_line(0x1000)
+        assert present and latency == FLUSH_PRESENT_LATENCY
+        assert not h.probe_data(0x1000)
+        latency, present = h.flush_line(0x1000)
+        assert not present and latency == FLUSH_ABSENT_LATENCY
+
+    def test_filter_check_hit_does_not_fill(self):
+        h = self._hierarchy()
+        assert not h.data_hit_l1(0x1000)
+        assert not h.l1d.contains(0x1000)   # request discarded
+        assert not h.l2.contains(0x1000)
+
+    def test_complete_miss_fills_after_filter_check(self):
+        h = self._hierarchy()
+        assert not h.data_hit_l1(0x1000)
+        result = h.complete_miss(0x1000)
+        assert h.l1d.contains(0x1000)
+        assert result.level == "mem"
+
+    def test_inst_and_data_sides_share_outer_levels(self):
+        h = self._hierarchy()
+        h.inst_access(0x1000)
+        assert h.l2.contains(0x1000)
+        assert not h.l1d.contains(0x1000)
+        assert h.l1i.contains(0x1000)
+
+    def test_inclusion_invariant_empty(self):
+        assert self._hierarchy().check_inclusion() == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(
+        st.tuples(st.sampled_from(["data", "inst", "flush"]),
+                  st.integers(0, 600)),
+        min_size=1, max_size=300,
+    ))
+    def test_inclusion_invariant_holds_under_random_traffic(self, ops):
+        """Back-invalidation keeps the hierarchy inclusive: every L1
+        line is in L2, every L2 line in L3."""
+        h = self._hierarchy()
+        for kind, line in ops:
+            addr = line * 64
+            if kind == "data":
+                h.data_access(addr)
+            elif kind == "inst":
+                h.inst_access(addr)
+            else:
+                h.flush_line(addr)
+        assert h.check_inclusion() == []
+
+    def test_l3_eviction_back_invalidates_l1(self):
+        """Filling more lines than one L3 set holds must remove the
+        evicted line from the inner levels too (the Evict+Reload
+        substrate)."""
+        h = self._hierarchy()
+        memory = tiny_config().memory
+        target = 0x1000
+        h.data_access(target)
+        l3_set_span = memory.l3.num_sets * 64
+        ways = memory.l3.ways
+        for way in range(1, ways + 1):
+            h.data_access(target + way * l3_set_span)
+        assert not h.l3.contains(target)
+        assert not h.l1d.contains(target)
+        assert h.check_inclusion() == []

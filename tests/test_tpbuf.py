@@ -1,0 +1,157 @@
+"""Tests for the Trusted Page Buffer (Section V.D semantics)."""
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tpbuf import TPBuf
+from repro.errors import ConfigError
+
+
+def allocate_entry(tpbuf, index, ppn=None, suspect=False, writeback=False):
+    tpbuf.allocate(index)
+    if ppn is not None:
+        tpbuf.set_ppn(index, ppn)
+    tpbuf.set_suspect(index, suspect)
+    if writeback:
+        tpbuf.set_writeback(index)
+
+
+class TestLifecycle:
+    def test_mask_snapshots_older_entries(self):
+        tpbuf = TPBuf(8)
+        tpbuf.allocate(0)
+        tpbuf.allocate(3)
+        tpbuf.allocate(5)
+        assert tpbuf.slot(0).mask == 0
+        assert tpbuf.slot(3).mask == 0b000001
+        assert tpbuf.slot(5).mask == 0b001001
+
+    def test_deallocate_clears_from_younger_masks(self):
+        tpbuf = TPBuf(8)
+        tpbuf.allocate(0)
+        tpbuf.allocate(1)
+        tpbuf.deallocate(0)
+        assert tpbuf.slot(1).mask == 0
+
+    def test_double_allocation_rejected(self):
+        tpbuf = TPBuf(4)
+        tpbuf.allocate(2)
+        with pytest.raises(ConfigError):
+            tpbuf.allocate(2)
+
+    def test_slot_reuse_after_deallocate(self):
+        tpbuf = TPBuf(4)
+        allocate_entry(tpbuf, 1, ppn=7, suspect=True, writeback=True)
+        tpbuf.deallocate(1)
+        tpbuf.allocate(1)
+        slot = tpbuf.slot(1)
+        assert not slot.suspect and not slot.writeback and not slot.valid
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ConfigError):
+            TPBuf(0)
+
+    def test_allocated_count(self):
+        tpbuf = TPBuf(4)
+        tpbuf.allocate(0)
+        tpbuf.allocate(2)
+        assert tpbuf.allocated_count() == 2
+
+
+class TestSPatternDetection:
+    """Equation 1 / Table II: unsafe iff an *older* entry has
+    V & W & S and a different PPN."""
+
+    def test_different_page_older_suspect_writeback_is_unsafe(self):
+        tpbuf = TPBuf(8)
+        allocate_entry(tpbuf, 0, ppn=0x100, suspect=True, writeback=True)
+        tpbuf.allocate(1)
+        assert not tpbuf.is_safe(1, incoming_ppn=0x200)
+
+    def test_same_page_is_safe(self):
+        tpbuf = TPBuf(8)
+        allocate_entry(tpbuf, 0, ppn=0x100, suspect=True, writeback=True)
+        tpbuf.allocate(1)
+        assert tpbuf.is_safe(1, incoming_ppn=0x100)
+
+    def test_not_suspect_entry_is_ignored(self):
+        tpbuf = TPBuf(8)
+        allocate_entry(tpbuf, 0, ppn=0x100, suspect=False, writeback=True)
+        tpbuf.allocate(1)
+        assert tpbuf.is_safe(1, incoming_ppn=0x200)
+
+    def test_no_writeback_entry_is_ignored(self):
+        """A suspect access whose data is not yet available cannot have
+        fed the incoming access's address - not an S-Pattern."""
+        tpbuf = TPBuf(8)
+        allocate_entry(tpbuf, 0, ppn=0x100, suspect=True, writeback=False)
+        tpbuf.allocate(1)
+        assert tpbuf.is_safe(1, incoming_ppn=0x200)
+
+    def test_no_valid_ppn_entry_is_ignored(self):
+        tpbuf = TPBuf(8)
+        tpbuf.allocate(0)
+        tpbuf.set_suspect(0, True)
+        tpbuf.set_writeback(0)
+        tpbuf.allocate(1)
+        assert tpbuf.is_safe(1, incoming_ppn=0x200)
+
+    def test_younger_entries_do_not_flag(self):
+        """Only entries older in program order (the Mask) matter."""
+        tpbuf = TPBuf(8)
+        tpbuf.allocate(1)   # incoming allocated first
+        allocate_entry(tpbuf, 0, ppn=0x999, suspect=True, writeback=True)
+        assert tpbuf.is_safe(1, incoming_ppn=0x200)
+
+    def test_empty_buffer_is_safe(self):
+        tpbuf = TPBuf(8)
+        tpbuf.allocate(0)
+        assert tpbuf.is_safe(0, incoming_ppn=0x100)
+
+    def test_any_one_matching_entry_suffices(self):
+        tpbuf = TPBuf(8)
+        allocate_entry(tpbuf, 0, ppn=0x100, suspect=True, writeback=True)
+        allocate_entry(tpbuf, 1, ppn=0x200, suspect=False, writeback=True)
+        tpbuf.allocate(2)
+        assert not tpbuf.is_safe(2, incoming_ppn=0x300)
+
+    def test_mismatch_rate(self):
+        tpbuf = TPBuf(8)
+        allocate_entry(tpbuf, 0, ppn=0x100, suspect=True, writeback=True)
+        tpbuf.allocate(1)
+        tpbuf.is_safe(1, incoming_ppn=0x100)   # safe
+        tpbuf.is_safe(1, incoming_ppn=0x200)   # unsafe
+        assert tpbuf.mismatch_rate() == 0.5
+
+    def test_clear_writeback(self):
+        tpbuf = TPBuf(8)
+        allocate_entry(tpbuf, 0, ppn=0x100, suspect=True, writeback=True)
+        tpbuf.clear_writeback(0)
+        tpbuf.allocate(1)
+        assert tpbuf.is_safe(1, incoming_ppn=0x200)
+
+
+class TestTPBufProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        entries=st.lists(
+            st.tuples(st.integers(0x100, 0x104), st.booleans(),
+                      st.booleans()),
+            min_size=0, max_size=6,
+        ),
+        incoming_ppn=st.integers(0x100, 0x104),
+    )
+    def test_is_safe_matches_reference_predicate(self, entries,
+                                                 incoming_ppn):
+        """Model-based check of equation 1 over arbitrary older-entry
+        populations."""
+        tpbuf = TPBuf(8)
+        for index, (ppn, suspect, writeback) in enumerate(entries):
+            allocate_entry(tpbuf, index, ppn=ppn, suspect=suspect,
+                           writeback=writeback)
+        incoming = len(entries)
+        tpbuf.allocate(incoming)
+        expected_unsafe = any(
+            suspect and writeback and ppn != incoming_ppn
+            for ppn, suspect, writeback in entries
+        )
+        assert tpbuf.is_safe(incoming, incoming_ppn) == (not expected_unsafe)

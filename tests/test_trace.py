@@ -1,0 +1,101 @@
+"""Tests for the pipeline tracer."""
+from repro import Processor, SecurityConfig, tiny_config
+from repro.isa import ProgramBuilder
+from repro.pipeline.trace import PipelineTracer
+
+
+def traced_run(program, security=None, limit=10_000):
+    tracer = PipelineTracer(limit=limit)
+    cpu = Processor(program, machine=tiny_config(),
+                    security=security or SecurityConfig.origin(),
+                    tracer=tracer)
+    report = cpu.run(max_cycles=200_000)
+    assert report.halted
+    return tracer, report
+
+
+def simple_program():
+    b = ProgramBuilder()
+    b.li(1, 3).addi(2, 1, 4).mul(3, 2, 1).halt()
+    return b.build()
+
+
+class TestRecords:
+    def test_committed_records_match_report(self):
+        tracer, report = traced_run(simple_program())
+        assert len(tracer.committed_records()) == report.committed
+
+    def test_lifecycle_ordering(self):
+        tracer, _ = traced_run(simple_program())
+        for record in tracer.committed_records():
+            if record.issued >= 0:
+                assert record.dispatched <= record.issued
+                assert record.issued <= record.completed
+                assert record.completed <= record.committed
+
+    def test_squashed_records_captured(self):
+        b = ProgramBuilder()
+        b.data_word(0x4000, 0)
+        b.li(1, 0x4000).clflush(1).fence()
+        b.load(2, 1)
+        b.beq(2, 0, "t")       # actually taken, cold-predicted NT
+        b.li(3, 1).li(4, 2)    # wrong path
+        b.label("t")
+        b.halt()
+        tracer, report = traced_run(b.build())
+        assert report.squashes >= 1
+        assert len(tracer.squashed_records()) >= 1
+        assert all(r.committed == -1 for r in tracer.squashed_records())
+
+    def test_suspect_flag_recorded(self):
+        b = ProgramBuilder()
+        b.data_word(0x4000, 0)
+        b.li(1, 0x4000).clflush(1).fence()
+        b.load(2, 1)
+        b.bne(2, 0, "skip")
+        b.li(3, 0x40000).load(4, 3)
+        b.label("skip")
+        b.halt()
+        tracer, _ = traced_run(b.build(),
+                               security=SecurityConfig.cache_hit())
+        assert tracer.suspects()
+
+    def test_record_for_seq(self):
+        tracer, _ = traced_run(simple_program())
+        first = tracer.committed_records()[0]
+        assert tracer.record_for_seq(first.seq) == first
+        assert tracer.record_for_seq(999_999) is None
+
+    def test_issue_delay(self):
+        tracer, _ = traced_run(simple_program())
+        record = tracer.committed_records()[0]
+        assert record.issue_delay >= 0
+
+
+class TestLimitAndRender:
+    def test_limit_drops_oldest(self):
+        b = ProgramBuilder()
+        b.li(1, 30)
+        b.label("loop").addi(1, 1, -1).bne(1, 0, "loop")
+        b.halt()
+        tracer, report = traced_run(b.build(), limit=10)
+        assert len(tracer.records) == 10
+        assert tracer.dropped == report.committed \
+            + report.squashed_instructions - 10
+
+    def test_render_contains_instructions(self):
+        tracer, _ = traced_run(simple_program())
+        text = tracer.render()
+        assert "seq" in text and "li" in text and "halt" in text
+
+    def test_render_marks_squashes(self):
+        b = ProgramBuilder()
+        b.data_word(0x4000, 0)
+        b.li(1, 0x4000).clflush(1).fence()
+        b.load(2, 1)
+        b.beq(2, 0, "t")
+        b.li(3, 1)
+        b.label("t")
+        b.halt()
+        tracer, _ = traced_run(b.build())
+        assert "squash" in tracer.render()

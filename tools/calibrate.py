@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Profile-calibration sweep: run SPEC profiles under the four modes
+and print the characteristics the profiles are tuned against
+(Table V bands).
+
+Used when adjusting `repro/workloads/spec2006.py` knobs.
+
+Usage:
+    python tools/calibrate.py            # all 22 profiles
+    python tools/calibrate.py lbm mcf    # a subset
+"""
+import sys
+import time
+
+from repro import Processor, SecurityConfig, paper_config
+from repro.workloads import spec_names, spec_program
+
+
+def main(argv):
+    names = argv or spec_names()
+    print(f"{'bench':<11} {'l1hit':>6} {'mpred':>6} | {'base%':>7} "
+          f"{'ch%':>6} {'tp%':>6} | {'b_blk':>6} {'ch_blk':>6} "
+          f"{'tp_blk':>6} {'s_hit':>6} {'mism':>6}")
+    start = time.time()
+    for name in names:
+        program = spec_program(name)
+        reports = {}
+        for key, security in [
+            ("o", SecurityConfig.origin()),
+            ("b", SecurityConfig.baseline()),
+            ("c", SecurityConfig.cache_hit()),
+            ("t", SecurityConfig.cache_hit_tpbuf()),
+        ]:
+            cpu = Processor(program, machine=paper_config(),
+                            security=security)
+            reports[key] = cpu.run(max_cycles=8_000_000)
+        origin = reports["o"].cycles
+        print(
+            f"{name:<11} {reports['o'].l1d_hit_rate:>6.1%} "
+            f"{reports['o'].branch_mispredict_rate:>6.1%} | "
+            f"{reports['b'].cycles / origin - 1:>7.1%} "
+            f"{reports['c'].cycles / origin - 1:>6.1%} "
+            f"{reports['t'].cycles / origin - 1:>6.1%} | "
+            f"{reports['b'].blocked_rate:>6.1%} "
+            f"{reports['c'].blocked_rate:>6.1%} "
+            f"{reports['t'].blocked_rate:>6.1%} "
+            f"{reports['c'].speculative_hit_rate:>6.1%} "
+            f"{reports['t'].spattern_mismatch_rate:>6.1%}",
+            flush=True,
+        )
+    print(f"wall {time.time() - start:.0f}s")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])
