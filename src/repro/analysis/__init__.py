@@ -1,0 +1,47 @@
+"""Static analysis of :class:`~repro.isa.program.Program` objects.
+
+The paper computes security dependences *dynamically* in the issue
+queue (Section V.B).  This package derives the same information
+*statically* from program structure, giving a second, independent
+oracle for "which loads are unsafe to speculate":
+
+- :mod:`cfg` — basic-block control-flow graph construction;
+- :mod:`dataflow` — a small generic forward dataflow engine
+  (worklist, meet-over-paths) over register lattices;
+- :mod:`taint` — speculative-taint analysis that flags the static
+  S-Pattern (a speculative load feeding a second memory access) and
+  computes the static suspect set;
+- :mod:`report` — structured findings and rendering;
+- :mod:`verify` — cross-validation against the dynamic security
+  matrix: every dynamically-recorded security dependence must be
+  covered by a static finding (static over-approximates dynamic);
+- :mod:`corpus` — minimal single-gadget driver programs used by the
+  gadget scanner and the cross-validation tests.
+"""
+from .cfg import BasicBlock, ControlFlowGraph, build_cfg
+from .dataflow import DataflowResult, ForwardDataflow, Lattice
+from .report import AnalysisReport, Finding, GadgetKind
+from .taint import (
+    DEFAULT_WINDOW,
+    analyze_program,
+    static_suspect_pcs,
+)
+from .verify import CrossValidation, cross_validate, record_dynamic_suspects
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "build_cfg",
+    "Lattice",
+    "ForwardDataflow",
+    "DataflowResult",
+    "GadgetKind",
+    "Finding",
+    "AnalysisReport",
+    "DEFAULT_WINDOW",
+    "analyze_program",
+    "static_suspect_pcs",
+    "CrossValidation",
+    "cross_validate",
+    "record_dynamic_suspects",
+]

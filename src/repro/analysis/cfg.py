@@ -1,0 +1,236 @@
+"""Basic-block control-flow graph over an assembled program.
+
+The CFG is built directly from :class:`~repro.isa.program.Program`:
+block leaders are the entry point, every direct branch/jump/call
+target, every label (indirect jumps can only usefully land on code the
+program names), and the instruction after any control instruction.
+Unreachable blocks are kept — Spectre V2 gadget bodies are placed
+after ``HALT`` and are *only* reached speculatively, so an analysis
+that dropped them would miss exactly the interesting code.
+
+Successor edges model *speculative* fetch behaviour, which is a
+superset of architectural control flow:
+
+- conditional branches: taken target and fall-through (a mispredict
+  fetches either);
+- ``JMP``/``CALL``: the static target (the front end always predicts
+  these taken with the instruction-word target);
+- ``JMPI``/``RET``: statically unknown.  The block is marked
+  :attr:`BasicBlock.ends_indirect`; analyses over-approximate the
+  successor set with every block in the program *plus* the
+  fall-through (a cold BTB / empty RAS predicts not-taken);
+- ``HALT``: no successors.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..isa.instructions import INSTRUCTION_BYTES, Instruction, Opcode
+from ..isa.program import Program
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of instructions."""
+
+    index: int
+    start: int
+    #: ``(address, instruction)`` pairs in layout order.
+    instructions: List[Tuple[int, Instruction]]
+    #: Indices of statically-known successor blocks.
+    successors: List[int] = field(default_factory=list)
+    #: Indices of predecessor blocks (direct edges only).
+    predecessors: List[int] = field(default_factory=list)
+    #: Block ends in JMPI/RET: successors are statically unknown.
+    ends_indirect: bool = False
+
+    @property
+    def end(self) -> int:
+        """Address one past the last instruction."""
+        if not self.instructions:
+            return self.start
+        return self.instructions[-1][0] + INSTRUCTION_BYTES
+
+    @property
+    def terminator(self) -> Optional[Tuple[int, Instruction]]:
+        """The final control instruction, if the block ends in one."""
+        if not self.instructions:
+            return None
+        addr, instr = self.instructions[-1]
+        if instr.is_branch or instr.op is Opcode.HALT:
+            return addr, instr
+        return None
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"BasicBlock(#{self.index} {self.start:#x}..{self.end:#x} "
+                f"succ={self.successors})")
+
+
+class ControlFlowGraph:
+    """Blocks plus address-indexed lookup helpers."""
+
+    def __init__(self, program: Program, blocks: List[BasicBlock]) -> None:
+        self.program = program
+        self.blocks = blocks
+        self._block_of_addr: Dict[int, int] = {}
+        for block in blocks:
+            for addr, _ in block.instructions:
+                self._block_of_addr[addr] = block.index
+
+    # ---- lookup --------------------------------------------------------
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def entry(self) -> BasicBlock:
+        entry_point = self.program.entry_point
+        assert entry_point is not None
+        return self.block_at(entry_point)
+
+    def block_at(self, address: int) -> BasicBlock:
+        """The block containing the instruction at ``address``."""
+        return self.blocks[self._block_of_addr[address]]
+
+    def instruction_at(self, address: int) -> Optional[Instruction]:
+        return self.program.instruction_at(address)
+
+    def iter_instructions(self) -> Iterator[Tuple[int, Instruction]]:
+        for block in self.blocks:
+            yield from block.instructions
+
+    # ---- successor views -----------------------------------------------
+
+    def successor_blocks(self, block: BasicBlock,
+                         indirect_to_all: bool = True) -> List[BasicBlock]:
+        """Successors of ``block``, over-approximating indirect edges.
+
+        With ``indirect_to_all`` (the default) a block ending in
+        ``JMPI``/``RET`` flows to every block: a poisoned BTB entry or
+        stale RAS prediction can steer speculation anywhere the program
+        has code.  With it disabled, only the fall-through edge of the
+        indirect terminator is kept.
+        """
+        if block.ends_indirect and indirect_to_all:
+            return list(self.blocks)
+        return [self.blocks[i] for i in block.successors]
+
+    # ---- whole-graph queries ---------------------------------------------
+
+    def reachable_from_entry(self) -> List[BasicBlock]:
+        """Blocks reachable along direct edges from the entry block
+        (indirect successors excluded — this is the *architectural*
+        reachability used to spot speculation-only code)."""
+        seen = {self.entry.index}
+        worklist = [self.entry]
+        while worklist:
+            block = worklist.pop()
+            for succ in block.successors:
+                if succ not in seen:
+                    seen.add(succ)
+                    worklist.append(self.blocks[succ])
+        return [b for b in self.blocks if b.index in seen]
+
+    def unreachable_blocks(self) -> List[BasicBlock]:
+        reachable = {b.index for b in self.reachable_from_entry()}
+        return [b for b in self.blocks if b.index not in reachable]
+
+    def render(self) -> str:
+        """Human-readable block listing with edges."""
+        names: Dict[int, str] = {}
+        for name, addr in self.program.labels.items():
+            names.setdefault(addr, name)
+        lines = []
+        for block in self.blocks:
+            label = names.get(block.start)
+            head = f"block {block.index} @ {block.start:#x}"
+            if label:
+                head += f" ({label})"
+            succ = ", ".join(str(i) for i in block.successors) or "-"
+            if block.ends_indirect:
+                succ += " +indirect"
+            lines.append(f"{head}  -> {succ}")
+            for addr, instr in block.instructions:
+                lines.append(f"    {addr:#06x}  {instr}")
+        return "\n".join(lines)
+
+
+def build_cfg(program: Program) -> ControlFlowGraph:
+    """Partition ``program`` into basic blocks and wire the edges."""
+    addresses = [addr for addr, _ in program.iter_addressed()]
+    if not addresses:
+        return ControlFlowGraph(program, [])
+    known = set(addresses)
+
+    leaders = set()
+    entry_point = program.entry_point
+    if entry_point is not None and entry_point in known:
+        leaders.add(entry_point)
+    leaders.add(addresses[0])
+    for addr in program.labels.values():
+        if addr in known:
+            leaders.add(addr)
+    for addr, instr in program.iter_addressed():
+        if instr.is_branch or instr.op is Opcode.HALT:
+            follower = addr + INSTRUCTION_BYTES
+            if follower in known:
+                leaders.add(follower)
+            if instr.is_branch and not instr.is_indirect \
+                    and instr.target in known:
+                leaders.add(instr.target)
+
+    # Slice the layout into blocks at leaders and after terminators.
+    blocks: List[BasicBlock] = []
+    current: List[Tuple[int, Instruction]] = []
+    for addr, instr in program.iter_addressed():
+        if addr in leaders and current:
+            blocks.append(BasicBlock(len(blocks), current[0][0], current))
+            current = []
+        current.append((addr, instr))
+        if instr.is_branch or instr.op is Opcode.HALT:
+            blocks.append(BasicBlock(len(blocks), current[0][0], current))
+            current = []
+    if current:
+        blocks.append(BasicBlock(len(blocks), current[0][0], current))
+
+    start_index = {block.start: block.index for block in blocks}
+
+    def link(src: BasicBlock, target_addr: int) -> None:
+        target = start_index.get(target_addr)
+        if target is not None and target not in src.successors:
+            src.successors.append(target)
+
+    for block in blocks:
+        term = block.terminator
+        if term is None:
+            # Fell off the end of the block because the next address is
+            # a leader: plain fall-through edge.
+            link(block, block.end)
+            continue
+        addr, instr = term
+        if instr.op is Opcode.HALT:
+            continue
+        if instr.is_indirect:
+            block.ends_indirect = True
+            # A cold BTB / empty RAS predicts not-taken: keep the
+            # fall-through as the one statically-known edge.
+            link(block, addr + INSTRUCTION_BYTES)
+            continue
+        if instr.is_conditional_branch:
+            link(block, instr.target)
+            link(block, addr + INSTRUCTION_BYTES)
+            continue
+        # JMP / CALL: always predicted taken with the static target.
+        link(block, instr.target)
+
+    for block in blocks:
+        for succ in block.successors:
+            blocks[succ].predecessors.append(block.index)
+    return ControlFlowGraph(program, blocks)

@@ -1,0 +1,113 @@
+"""Minimal single-gadget driver programs for the static scanner.
+
+Each driver wraps one of the shared gadget emitters from
+:mod:`repro.attacks.gadgets` in the smallest runnable program: no
+training loops, no side-channel receiver — just the speculation source
+and the S-Pattern (or its fence-mitigated variant).  They serve two
+masters:
+
+- ``tools/scan_gadgets.py`` asserts the static analyzer flags every
+  unfenced driver and passes every fenced one;
+- the cross-validation tests run the same programs through the
+  simulator and check static coverage of the dynamic suspect set.
+"""
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from ..attacks.gadgets import (
+    R_ARG_PROBE,
+    R_ARG_PTR,
+    R_RET,
+    R_X,
+    emit_bounds_check_gadget,
+    emit_indirect_gadget_body,
+    emit_store_bypass_gadget,
+    emit_transmit,
+)
+from ..attacks.layout import AttackLayout
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+
+GADGET_KINDS: Tuple[str, ...] = ("v1", "v2", "v4", "rsb")
+
+
+def _make_builder(layout: AttackLayout) -> ProgramBuilder:
+    builder = ProgramBuilder(base_address=layout.code_base)
+    for address, value in sorted(layout.initial_data().items()):
+        builder.data_word(address, value)
+    return builder
+
+
+def build_v1_gadget(fenced: bool = False) -> Program:
+    """Bounds-check bypass: one in-bounds call of the V1 victim."""
+    layout = AttackLayout()
+    builder = _make_builder(layout)
+    builder.li(R_X, 0)
+    emit_bounds_check_gadget(builder, layout, "demo", fenced=fenced)
+    builder.halt()
+    return builder.build()
+
+
+def build_v2_gadget(fenced: bool = False) -> Program:
+    """Branch-target injection: an indirect jump plus a gadget body
+    that is only reachable speculatively (it sits after HALT)."""
+    layout = AttackLayout()
+    builder = _make_builder(layout)
+    builder.li(R_ARG_PTR, layout.secret_addr)
+    builder.li(R_ARG_PROBE, layout.probe_base)
+    builder.li_label(R_RET, "v2_done")
+    builder.li_label(20, "v2_gadget_demo")
+    builder.jmpi(20)
+    builder.label("v2_done")
+    builder.halt()
+    emit_indirect_gadget_body(builder, layout, "demo", fenced=fenced)
+    return builder.build()
+
+
+def build_v4_gadget(fenced: bool = False) -> Program:
+    """Speculative store bypass: sanitizing store with a delinquent
+    address followed by the stale-secret load and transmit."""
+    layout = AttackLayout()
+    builder = _make_builder(layout)
+    builder.data_word(layout.fnptr_addr, layout.secret_addr)
+    emit_store_bypass_gadget(builder, layout, "demo", layout.fnptr_addr,
+                             fenced=fenced)
+    builder.halt()
+    return builder.build()
+
+
+def build_rsb_gadget(fenced: bool = False) -> Program:
+    """ret2spec: the victim function rewrites its return target, so the
+    RAS-predicted return speculatively executes the gadget planted
+    after the call site."""
+    layout = AttackLayout()
+    builder = _make_builder(layout)
+    builder.li(12, layout.secret_addr)
+    builder.call("rsb_victim_demo")
+    # ---- return-site gadget: executes only under the stale RAS
+    # prediction, before the RET resolves to the benign exit.
+    if fenced:
+        builder.fence()
+    builder.load(13, 12, note="secret read via stale return prediction")
+    emit_transmit(builder, layout, 13)
+    builder.jmp("rsb_done")
+    builder.label("rsb_victim_demo")
+    builder.li_label(31, "rsb_done")
+    builder.ret()
+    builder.label("rsb_done")
+    builder.halt()
+    return builder.build()
+
+
+GADGET_BUILDERS: Dict[str, Callable[[bool], Program]] = {
+    "v1": build_v1_gadget,
+    "v2": build_v2_gadget,
+    "v4": build_v4_gadget,
+    "rsb": build_rsb_gadget,
+}
+
+
+def build_gadget_program(kind: str, fenced: bool = False) -> Program:
+    """Driver program for ``kind`` (one of :data:`GADGET_KINDS`)."""
+    return GADGET_BUILDERS[kind](fenced)

@@ -1,0 +1,125 @@
+"""A small generic forward dataflow engine.
+
+The engine computes a meet-over-paths over-approximation with the
+classic worklist algorithm: block in-states are joined from predecessor
+out-states, the transfer function is applied instruction by
+instruction, and blocks whose out-state changed push their successors
+back onto the worklist.  Analyses provide a :class:`Lattice` — the
+abstract domain plus its transfer function — and the engine handles
+iteration order, fixpoint detection and per-instruction state capture.
+
+``None`` is reserved as the universal bottom element ("unreachable /
+no information"); lattices never see it in ``transfer`` and the engine
+short-circuits joins with it.  Termination requires the usual lattice
+conditions: ``join`` is monotone and the chain height is finite (both
+taint sets over a program's load PCs and bounded window counters
+satisfy this).
+"""
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Generic, List, Mapping, Optional, TypeVar
+
+from ..isa.instructions import Instruction
+from .cfg import BasicBlock, ControlFlowGraph
+
+S = TypeVar("S")
+
+
+class Lattice(ABC, Generic[S]):
+    """Abstract domain of one forward analysis."""
+
+    @abstractmethod
+    def join(self, a: S, b: S) -> S:
+        """Least upper bound of two (non-bottom) states."""
+
+    @abstractmethod
+    def equals(self, a: S, b: S) -> bool:
+        """State equality (fixpoint detection)."""
+
+    @abstractmethod
+    def transfer(self, state: S, address: int,
+                 instruction: Instruction) -> Optional[S]:
+        """Abstract effect of one instruction; ``None`` kills the path."""
+
+
+class DataflowResult(Generic[S]):
+    """Fixpoint states: per block entry and per instruction."""
+
+    def __init__(self, block_in: Dict[int, Optional[S]],
+                 pre_states: Dict[int, Optional[S]]) -> None:
+        self._block_in = block_in
+        self._pre_states = pre_states
+
+    def block_entry_state(self, block: BasicBlock) -> Optional[S]:
+        return self._block_in.get(block.index)
+
+    def state_before(self, address: int) -> Optional[S]:
+        """Joined abstract state immediately before ``address``."""
+        return self._pre_states.get(address)
+
+
+class ForwardDataflow(Generic[S]):
+    """Worklist-driven forward analysis over a CFG."""
+
+    def __init__(self, cfg: ControlFlowGraph, lattice: Lattice[S],
+                 indirect_to_all: bool = True) -> None:
+        self.cfg = cfg
+        self.lattice = lattice
+        self.indirect_to_all = indirect_to_all
+
+    def _join_opt(self, a: Optional[S], b: Optional[S]) -> Optional[S]:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return self.lattice.join(a, b)
+
+    def _eq_opt(self, a: Optional[S], b: Optional[S]) -> bool:
+        if a is None or b is None:
+            return a is None and b is None
+        return self.lattice.equals(a, b)
+
+    def run(self, seeds: Mapping[int, S]) -> DataflowResult[S]:
+        """Iterate to fixpoint.
+
+        ``seeds`` maps block indices to initial entry states (joined
+        into whatever flows in from predecessors).  Blocks without a
+        seed start at bottom and only become live when a predecessor's
+        out-state reaches them.
+        """
+        lattice = self.lattice
+        block_in: Dict[int, Optional[S]] = {
+            block.index: seeds.get(block.index) for block in self.cfg
+        }
+        # Every block enters the worklist once so seeded-but-unreachable
+        # blocks (e.g. gadget bodies placed after HALT) are processed.
+        worklist: List[int] = [block.index for block in self.cfg]
+        queued = set(worklist)
+        while worklist:
+            index = worklist.pop(0)
+            queued.discard(index)
+            block = self.cfg.blocks[index]
+            state = block_in[index]
+            for addr, instr in block.instructions:
+                if state is None:
+                    break
+                state = lattice.transfer(state, addr, instr)
+            for succ in self.cfg.successor_blocks(block,
+                                                  self.indirect_to_all):
+                merged = self._join_opt(block_in[succ.index], state)
+                if not self._eq_opt(merged, block_in[succ.index]):
+                    block_in[succ.index] = merged
+                    if succ.index not in queued:
+                        worklist.append(succ.index)
+                        queued.add(succ.index)
+
+        # Final pass: record the joined state before every instruction.
+        pre_states: Dict[int, Optional[S]] = {}
+        for block in self.cfg:
+            state = block_in[block.index]
+            for addr, instr in block.instructions:
+                pre_states[addr] = state
+                if state is not None:
+                    state = lattice.transfer(state, addr, instr)
+        return DataflowResult(block_in, pre_states)

@@ -51,16 +51,21 @@ def emit_transmit(builder: ProgramBuilder, layout: AttackLayout,
 
 
 def emit_bounds_check_gadget(builder: ProgramBuilder, layout: AttackLayout,
-                             tag: str) -> None:
+                             tag: str, fenced: bool = False) -> None:
     """The Spectre V1 victim (Listing 2 of the paper)::
 
         if (x < array1_size)              // bounds check, slow operand
             y = probe[array1[x] * stride] // speculated past the check
+
+    With ``fenced`` a serializing FENCE follows the bounds check — the
+    software mitigation the static analyzer must recognize as safe.
     """
     skip = f"v1_skip_{tag}"
     builder.li(9, layout.size_addr)
     builder.load(10, 9, note="array1_size (delinquent)")
     builder.bge(R_X, 10, skip)
+    if fenced:
+        builder.fence()
     builder.shli(11, R_X, 3)
     builder.li(12, layout.array1_base)
     builder.add(12, 12, 11)
@@ -70,12 +75,15 @@ def emit_bounds_check_gadget(builder: ProgramBuilder, layout: AttackLayout,
 
 
 def emit_indirect_gadget_body(builder: ProgramBuilder, layout: AttackLayout,
-                              tag: str) -> None:
+                              tag: str, fenced: bool = False) -> None:
     """The Spectre V2 gadget: dereference the pointer argument and
     transmit, then return through r19.  The victim never reaches this
     code architecturally; the attacker steers speculation here by
-    poisoning the BTB."""
+    poisoning the BTB.  With ``fenced`` the body opens with a FENCE, so
+    speculation steered into it stalls before the secret read."""
     builder.label(f"v2_gadget_{tag}")
+    if fenced:
+        builder.fence()
     builder.load(13, R_ARG_PTR, note="attacker-pointed secret read")
     emit_scaled_offset(builder, 15, 13, 11, layout.probe_stride)
     builder.add(15, R_ARG_PROBE, 15)
@@ -84,7 +92,8 @@ def emit_indirect_gadget_body(builder: ProgramBuilder, layout: AttackLayout,
 
 
 def emit_store_bypass_gadget(builder: ProgramBuilder, layout: AttackLayout,
-                             tag: str, ptr_addr: int) -> None:
+                             tag: str, ptr_addr: int,
+                             fenced: bool = False) -> None:
     """The Spectre V4 victim (Listing 1 of the paper)::
 
         *p = 0;            // sanitizing store, address p is delinquent
@@ -92,11 +101,14 @@ def emit_store_bypass_gadget(builder: ProgramBuilder, layout: AttackLayout,
 
     ``ptr_addr`` holds the (flushed) pointer ``p`` which equals the
     secret's address X, so the speculative load reads the stale secret
-    before the sanitizing store lands.
+    before the sanitizing store lands.  With ``fenced`` a FENCE follows
+    the sanitizing store, forbidding the bypass.
     """
     builder.li(9, ptr_addr)
     builder.load(10, 9, note="pointer p (delinquent)")
     builder.store(0, 10, note="sanitizing store, unknown address")
+    if fenced:
+        builder.fence()
     builder.li(12, layout.secret_addr)
     builder.load(13, 12, note="bypassing load (reads stale secret)")
     emit_transmit(builder, layout, 13)

@@ -3,6 +3,7 @@
 Commands:
 
 - ``run``      - assemble and simulate a program file.
+- ``analyze``  - statically scan a program for Spectre gadgets.
 - ``attack``   - run a Spectre PoC under a protection mode.
 - ``bench``    - simulate a SPEC profile under one or all modes.
 - ``figure5`` / ``table4`` / ``table5`` / ``table6`` / ``lru`` /
@@ -112,6 +113,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if report.halted else 1
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis import DEFAULT_WINDOW, analyze_program, cross_validate
+
+    with open(args.program) as handle:
+        program = assemble(handle.read())
+    window = args.window if args.window is not None else DEFAULT_WINDOW
+    report = analyze_program(program, window=window, name=args.program)
+    print(report.render())
+    if args.json:
+        import json
+        with open(args.json, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"wrote {args.json}")
+    if args.verify:
+        validation = cross_validate(
+            program, machine=_machine(args), security=_security(args.mode),
+            name=args.program, max_cycles=args.max_cycles,
+        )
+        print()
+        print(validation.render())
+        if not validation.covered:
+            return 1
+    if args.fail_on_findings and not report.clean:
+        return 1
+    return 0
+
+
 def _cmd_attack(args: argparse.Namespace) -> int:
     build = _ATTACKS[args.variant]
     channel = _CHANNELS[args.channel]() if args.variant != "prime" else None
@@ -206,6 +234,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_machine_arg(p_run)
     _add_mode_arg(p_run)
     p_run.set_defaults(func=_cmd_run)
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="statically scan a program for Spectre gadgets",
+    )
+    p_analyze.add_argument("program", help="assembly source file")
+    p_analyze.add_argument("--window", type=int, default=None,
+                           help="speculation window in instructions "
+                                "(default: analysis default, ~ROB size)")
+    p_analyze.add_argument("--json", default=None,
+                           help="also write the findings as JSON")
+    p_analyze.add_argument("--verify", action="store_true",
+                           help="simulate the program and cross-check "
+                                "static coverage of the dynamic "
+                                "security dependences")
+    p_analyze.add_argument("--fail-on-findings", action="store_true",
+                           help="exit non-zero when gadgets are found "
+                                "(lint mode)")
+    p_analyze.add_argument("--max-cycles", type=int, default=2_000_000)
+    _add_machine_arg(p_analyze)
+    _add_mode_arg(p_analyze)
+    p_analyze.set_defaults(func=_cmd_analyze)
 
     p_attack = sub.add_parser("attack", help="run a Spectre PoC")
     p_attack.add_argument("variant", choices=sorted(_ATTACKS))

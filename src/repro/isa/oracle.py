@@ -19,7 +19,6 @@ from ..errors import ExecutionError
 from .instructions import (
     INSTRUCTION_BYTES,
     WORD_BYTES,
-    Instruction,
     Opcode,
     branch_taken,
     evaluate_alu,

@@ -52,6 +52,7 @@ from ..params import MachineParams, paper_config
 from ..stats import StatGroup, combine
 from .dyninst import DynInst, InstState
 from .events import EventQueue
+from .invariants import check_processor_invariants
 from .issue_queue import IssueQueue
 from .lsq import LoadStoreQueue
 from .memdep import StoreWaitPredictor
@@ -90,6 +91,7 @@ class Processor:
         page_table: Optional[PageTable] = None,
         initial_registers: Optional[Dict[int, int]] = None,
         tracer: Optional["PipelineTracer"] = None,
+        check_invariants: bool = False,
     ) -> None:
         self.machine = machine or paper_config()
         self.security = security or SecurityConfig.origin()
@@ -160,6 +162,9 @@ class Processor:
         self._last_commit_cycle = 0
 
         self.tracer = tracer
+        #: Debug flag: run the structural invariant lint every cycle
+        #: (see :mod:`repro.pipeline.invariants`).
+        self.check_invariants = check_invariants
         self.stats = StatGroup("processor")
         self.report = SimReport(name="run", mode=self.security.mode)
 
@@ -185,6 +190,8 @@ class Processor:
         self._fetch()
         self.iq.end_cycle()
         self.store_buffer.tick(self.cycle)
+        if self.check_invariants:
+            check_processor_invariants(self)
         if self.cycle - self._last_commit_cycle > _WATCHDOG_CYCLES:
             raise DeadlockError(
                 f"no commit for {_WATCHDOG_CYCLES} cycles at cycle "

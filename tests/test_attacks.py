@@ -16,7 +16,6 @@ from repro.attacks.sidechannel import (
     EvictReloadChannel,
     EvictTimeChannel,
     FlushFlushChannel,
-    FlushReloadChannel,
     PrimeProbeChannel,
 )
 from repro.core.policy import ProtectionMode

@@ -2,7 +2,7 @@
 must not depend on the paper's exact core geometry."""
 import pytest
 
-from repro import SecurityConfig, a57_like, i7_like, tiny_config
+from repro import SecurityConfig, a57_like, i7_like
 from repro.attacks import build_spectre_v1, build_spectre_v4, run_attack
 
 

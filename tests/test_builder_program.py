@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import AssemblyError, SimulationError
 from repro.isa.builder import ProgramBuilder
-from repro.isa.instructions import INSTRUCTION_BYTES, Instruction, Opcode
+from repro.isa.instructions import INSTRUCTION_BYTES, Opcode
 from repro.isa.program import InstructionMemory, Program
 
 

@@ -3,7 +3,7 @@ stack, and the Spectre-RSB attack."""
 import pytest
 
 from conftest import run_to_halt
-from repro import Processor, SecurityConfig, tiny_config
+from repro import Processor, SecurityConfig
 from repro.attacks import build_spectre_rsb, run_attack
 from repro.frontend.branch_predictor import BranchPredictor
 from repro.isa import Opcode, ProgramBuilder, assemble, run_oracle

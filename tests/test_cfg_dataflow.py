@@ -1,0 +1,215 @@
+"""Tests for the CFG builder and the forward dataflow engine."""
+import pytest
+
+from repro.analysis import ForwardDataflow, Lattice, build_cfg
+from repro.isa import ProgramBuilder
+
+
+def _cfg(build):
+    b = ProgramBuilder()
+    build(b)
+    return build_cfg(b.build())
+
+
+def diamond_program(b):
+    """if (r1 == 0) r2 = 1 else r2 = 2; r3 = r2."""
+    b.li(1, 0)
+    b.beq(1, 0, "then")
+    b.li(2, 2)
+    b.jmp("join")
+    b.label("then")
+    b.li(2, 1)
+    b.label("join")
+    b.mov(3, 2)
+    b.halt()
+
+
+def loop_program(b):
+    b.li(1, 4)
+    b.label("loop")
+    b.addi(1, 1, -1)
+    b.bne(1, 0, "loop")
+    b.halt()
+
+
+class TestCfgShapes:
+    def test_diamond(self):
+        cfg = _cfg(diamond_program)
+        entry = cfg.entry
+        then_blk = cfg.block_at(cfg.program.labels["then"])
+        join_blk = cfg.block_at(cfg.program.labels["join"])
+        succs = cfg.successor_blocks(entry)
+        # cond branch: taken target + fall-through
+        assert then_blk in succs
+        assert len(succs) == 2
+        fall = next(s for s in succs if s is not then_blk)
+        assert cfg.successor_blocks(fall) == [join_blk]  # jmp join
+        assert cfg.successor_blocks(then_blk) == [join_blk]  # fall-through
+        assert join_blk.predecessors and len(join_blk.predecessors) == 2
+
+    def test_loop_backedge(self):
+        cfg = _cfg(loop_program)
+        loop_blk = cfg.block_at(cfg.program.labels["loop"])
+        succs = cfg.successor_blocks(loop_blk)
+        assert loop_blk in succs  # backedge to itself
+        assert loop_blk.index in loop_blk.predecessors
+
+    def test_indirect_jump_fans_out_to_all_blocks(self):
+        def build(b):
+            b.li_label(1, "target")
+            b.jmpi(1)
+            b.halt()
+            b.label("target")
+            b.halt()
+
+        cfg = _cfg(build)
+        entry = cfg.entry
+        assert entry.ends_indirect
+        # indirect_to_all: every block is a potential successor
+        succ_idx = {s.index for s in
+                    cfg.successor_blocks(entry, indirect_to_all=True)}
+        assert succ_idx == {blk.index for blk in cfg}
+        # direct edges only: just the architectural fall-through
+        direct = cfg.successor_blocks(entry, indirect_to_all=False)
+        assert len(direct) == 1 and direct[0].start == entry.end
+
+    def test_fall_through_to_halt(self):
+        def build(b):
+            b.li(1, 1)
+            b.beq(1, 0, "skip")
+            b.li(2, 2)
+            b.label("skip")
+            b.halt()
+
+        cfg = _cfg(build)
+        halt_blk = cfg.block_at(cfg.program.labels["skip"])
+        addr, term = halt_blk.terminator
+        assert term.op.name == "HALT"
+        # HALT terminates the block with no successors
+        assert cfg.successor_blocks(halt_blk) == []
+        # the middle block falls through into the HALT block
+        middle = next(blk for blk in cfg
+                      if blk is not cfg.entry and blk is not halt_blk)
+        assert cfg.successor_blocks(middle) == [halt_blk]
+
+    def test_unreachable_block_detected(self):
+        def build(b):
+            b.li(1, 1)
+            b.halt()
+            b.label("dead")      # only reachable via mispredicted
+            b.li(2, 2)           # indirect control flow
+            b.halt()
+
+        cfg = _cfg(build)
+        dead = cfg.block_at(cfg.program.labels["dead"])
+        assert dead in cfg.unreachable_blocks()
+        assert dead not in cfg.reachable_from_entry()
+
+    def test_every_instruction_in_exactly_one_block(self):
+        cfg = _cfg(diamond_program)
+        seen = [addr for addr, _ in cfg.iter_instructions()]
+        assert len(seen) == len(set(seen)) == len(cfg.program.instructions)
+
+    def test_render_smoke(self):
+        text = _cfg(diamond_program).render()
+        assert "block" in text and "->" in text
+
+
+class _ReachingConst(Lattice):
+    """Toy lattice: per-register constant propagation over LI/MOV.
+
+    Used to exercise join-at-merge and loop fixpoint behaviour of the
+    generic engine independent of the taint analysis.
+    """
+
+    TOP = object()  # unknown / conflicting
+
+    def join(self, a, b):
+        out = dict(a)
+        for reg, val in b.items():
+            if reg in out and out[reg] != val:
+                out[reg] = self.TOP
+            else:
+                out.setdefault(reg, val)
+        return out
+
+    def equals(self, a, b):
+        return a == b
+
+    def transfer(self, state, address, instr):
+        out = dict(state)
+        name = instr.op.name
+        if name == "LI":
+            out[instr.rd] = instr.imm
+        elif name == "ADDI" and instr.imm == 0:
+            out[instr.rd] = out.get(instr.rs1, self.TOP)
+        elif instr.rd:
+            out[instr.rd] = self.TOP
+        return out
+
+
+class TestDataflowEngine:
+    def _run(self, build):
+        cfg = _cfg(build)
+        flow = ForwardDataflow(cfg, _ReachingConst())
+        return cfg, flow.run({cfg.entry.index: {}})
+
+    def test_diamond_merge_conflicting_defs(self):
+        cfg, result = self._run(diamond_program)
+        join_addr = cfg.program.labels["join"]
+        state = result.state_before(join_addr)
+        # r2 is 1 on one path, 2 on the other -> TOP at the merge
+        assert state[2] is _ReachingConst.TOP
+        # r1 is 0 on both paths -> still constant
+        assert state[1] == 0
+
+    def test_loop_reaches_fixpoint(self):
+        cfg, result = self._run(loop_program)
+        loop_addr = cfg.program.labels["loop"]
+        state = result.state_before(loop_addr)
+        # r1 is 4 on entry but decremented around the backedge -> TOP
+        assert state[1] is _ReachingConst.TOP
+
+    def test_straightline_propagation(self):
+        def build(b):
+            b.li(1, 7)
+            b.addi(2, 1, 0)
+            b.halt()
+
+        cfg, result = self._run(build)
+        halt_addr = cfg.program.address_of(2)
+        state = result.state_before(halt_addr)
+        assert state[1] == 7 and state[2] == 7
+
+    def test_unseeded_unreachable_block_has_no_state(self):
+        def build(b):
+            b.halt()
+            b.label("dead")
+            b.li(1, 1)
+            b.halt()
+
+        cfg = _cfg(build)
+        flow = ForwardDataflow(cfg, _ReachingConst())
+        result = flow.run({cfg.entry.index: {}})
+        dead = cfg.block_at(cfg.program.labels["dead"])
+        assert result.block_entry_state(dead) is None
+        assert result.state_before(dead.start) is None
+
+    def test_seeding_unreachable_block_analyzes_it(self):
+        def build(b):
+            b.halt()
+            b.label("dead")
+            b.li(1, 9)
+            b.halt()
+
+        cfg = _cfg(build)
+        dead = cfg.block_at(cfg.program.labels["dead"])
+        flow = ForwardDataflow(cfg, _ReachingConst())
+        result = flow.run({cfg.entry.index: {}, dead.index: {}})
+        halt_addr = dead.start + 4
+        assert result.state_before(halt_addr)[1] == 9
+
+    def test_block_at_rejects_mid_block_address(self):
+        cfg = _cfg(diamond_program)
+        with pytest.raises(KeyError):
+            cfg.block_at(0xDEAD)

@@ -77,3 +77,65 @@ class TestCommands:
         code = main(["table5", "--scale", "0.05", "hmmer"])
         assert code == 0
         assert "S-mismatch" in capsys.readouterr().out
+
+
+_GADGET_SOURCE = """\
+li r1, 0
+li r2, 0x2000
+li r3, 8
+bge r1, r3, done
+load r4, r2
+add r5, r4, r4
+load r6, r5
+done:
+halt
+"""
+
+_CLEAN_SOURCE = "li r1, 5\naddi r1, r1, 2\nhalt\n"
+
+
+class TestAnalyzeCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["analyze", "prog.s"])
+        assert args.window is None
+        assert not args.verify and not args.fail_on_findings
+
+    def test_analyze_finds_gadget(self, tmp_path, capsys):
+        source = tmp_path / "gadget.s"
+        source.write_text(_GADGET_SOURCE)
+        code = main(["analyze", str(source)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "spectre-v1" in out and "suggested fence" in out
+
+    def test_analyze_clean_program(self, tmp_path, capsys):
+        source = tmp_path / "clean.s"
+        source.write_text(_CLEAN_SOURCE)
+        code = main(["analyze", str(source), "--fail-on-findings"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no speculative gadgets" in out
+
+    def test_fail_on_findings_exits_nonzero(self, tmp_path, capsys):
+        source = tmp_path / "gadget.s"
+        source.write_text(_GADGET_SOURCE)
+        assert main(["analyze", str(source), "--fail-on-findings"]) == 1
+
+    def test_analyze_json_export(self, tmp_path, capsys):
+        import json
+        source = tmp_path / "gadget.s"
+        source.write_text(_GADGET_SOURCE)
+        out_json = tmp_path / "report.json"
+        code = main(["analyze", str(source), "--json", str(out_json)])
+        assert code == 0
+        data = json.loads(out_json.read_text())
+        assert data["findings"][0]["kind"] == "spectre-v1"
+
+    def test_analyze_verify(self, tmp_path, capsys):
+        source = tmp_path / "gadget.s"
+        source.write_text(_GADGET_SOURCE)
+        code = main(["analyze", str(source), "--verify",
+                     "--machine", "tiny"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cross-validation" in out and "100%" in out

@@ -1,5 +1,4 @@
 """Tests for JSON machine configs and result export."""
-import json
 
 import pytest
 

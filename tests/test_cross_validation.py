@@ -1,0 +1,81 @@
+"""Static-vs-dynamic cross-validation: the acceptance criterion.
+
+Every PC the *simulator* ever marks as a security dependence (suspect
+or blocked load) must also be flagged by the *static* suspect
+analysis — the static pass over-approximates the dynamic one.
+"""
+import pytest
+
+from repro.analysis import cross_validate, record_dynamic_suspects
+from repro.analysis.corpus import GADGET_KINDS, build_gadget_program
+from repro.attacks import build_spectre_v1, build_spectre_v4
+from repro.core.policy import SecurityConfig
+from repro.params import tiny_config
+
+
+class TestGadgetCoverage:
+    @pytest.mark.parametrize("kind", GADGET_KINDS)
+    def test_static_covers_dynamic(self, kind):
+        program = build_gadget_program(kind)
+        result = cross_validate(program, name=kind)
+        assert result.covered, result.render()
+        assert result.coverage == 1.0
+
+    @pytest.mark.parametrize("kind", GADGET_KINDS)
+    def test_static_covers_dynamic_baseline_mode(self, kind):
+        """Baseline CS marks *every* speculative load suspect — the
+        widest dynamic set the static pass has to cover."""
+        program = build_gadget_program(kind)
+        result = cross_validate(program, name=kind,
+                                security=SecurityConfig.baseline())
+        assert result.covered, result.render()
+
+
+class TestAttackCoverage:
+    def test_v1_attack_covered(self):
+        attack = build_spectre_v1()
+        result = cross_validate(attack.program, name=attack.name,
+                                page_table=attack.page_table)
+        assert result.covered, result.render()
+        assert result.dynamic.suspect_pcs, "attack produced no suspects"
+
+    def test_v4_attack_covered(self):
+        attack = build_spectre_v4()
+        result = cross_validate(attack.program, name=attack.name,
+                                page_table=attack.page_table)
+        assert result.covered, result.render()
+
+
+class TestMechanics:
+    def test_dynamic_recording_sees_suspects(self):
+        program = build_gadget_program("v1")
+        dynamic = record_dynamic_suspects(program)
+        assert dynamic.suspect_pcs
+        assert dynamic.all_pcs >= dynamic.blocked_pcs
+
+    def test_origin_mode_records_nothing(self):
+        """Without a defense there are no security dependences, so the
+        dynamic set is empty and trivially covered."""
+        program = build_gadget_program("v1")
+        result = cross_validate(program,
+                                security=SecurityConfig.origin())
+        assert not result.dynamic.all_pcs
+        assert result.covered and result.coverage == 1.0
+
+    def test_render_reports_coverage(self):
+        result = cross_validate(build_gadget_program("v1"),
+                                name="v1-driver")
+        text = result.render()
+        assert "v1-driver" in text and "100%" in text
+
+    def test_undersized_window_breaks_coverage(self):
+        """Shrinking the static window below the machine's ROB loses
+        the over-approximation guarantee — the harness must notice."""
+        program = build_gadget_program("v1")
+        result = cross_validate(program, window=1,
+                                machine=tiny_config())
+        # With a 1-instruction window essentially nothing is suspect
+        # statically, while the simulator still flags loads.
+        assert result.dynamic.all_pcs
+        assert not result.covered
+        assert result.uncovered

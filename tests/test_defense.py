@@ -4,7 +4,7 @@ filter and the TPBuf filter, plus the filter-decision logic."""
 import pytest
 
 from conftest import run_to_halt
-from repro import Processor, SecurityConfig, paper_config, tiny_config
+from repro import Processor, SecurityConfig, tiny_config
 from repro.core.filters import HazardFilters, MissVerdict
 from repro.core.policy import ProtectionMode
 from repro.core.tpbuf import TPBuf

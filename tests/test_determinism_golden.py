@@ -4,7 +4,6 @@ The simulator is fully deterministic: identical inputs must produce
 identical cycle counts, and a small golden program pins the exact
 timing so accidental changes to the pipeline model are caught.
 """
-import pytest
 
 from conftest import run_to_halt
 from repro import Processor, SecurityConfig, paper_config, tiny_config

@@ -6,12 +6,10 @@ This is the core integration property of the whole simulator: renaming,
 speculation, squash/recovery, forwarding, the security filters and the
 store buffer may change *timing* but never *semantics*.
 """
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro import Processor, SecurityConfig, tiny_config
 from repro.isa import ProgramBuilder, run_oracle
-from repro.isa.instructions import Opcode
 
 _MEM_BASE = 0x4000
 _MEM_WORDS = 16

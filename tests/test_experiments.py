@@ -23,7 +23,7 @@ from repro.experiments import (
 from repro.experiments.area_study import render_area_study
 from repro.experiments.formatting import percent, text_table
 from repro.memory.replacement import SpeculativeLRUPolicy
-from repro.params import a57_like, tiny_config
+from repro.params import a57_like
 
 _BENCH = ["hmmer"]
 _SCALE = 0.1

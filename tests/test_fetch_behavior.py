@@ -1,10 +1,9 @@
 """Tests of fetch-stage behaviour: line-bounded fetch groups, I-cache
 stalls, wrong-path fetch of unmapped memory, and the ICache-hit filter
 decision unit."""
-import pytest
 
 from conftest import run_to_halt
-from repro import Processor, SecurityConfig, tiny_config
+from repro import Processor, tiny_config
 from repro.core.icache_filter import ICacheHitFilter
 from repro.isa import ProgramBuilder
 from repro.params import with_core

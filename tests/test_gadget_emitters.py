@@ -1,7 +1,6 @@
 """Tests for the gadget emitters' functional correctness (verified
 through the oracle - the gadget arithmetic must compute the addresses
 the attacks rely on)."""
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.attacks.gadgets import (

@@ -1,6 +1,5 @@
 """Tests for the recency-sensitive LRU-stress workload and its role in
 the Section VII.A study."""
-import pytest
 
 from repro import Processor, SecurityConfig, paper_config, run_oracle
 from repro.core.policy import ProtectionMode

@@ -2,7 +2,7 @@
 import pytest
 
 from conftest import run_to_halt
-from repro import Processor, SecurityConfig, tiny_config
+from repro import SecurityConfig, tiny_config
 from repro.attacks import build_spectre_v4, run_attack
 from repro.isa import ProgramBuilder, run_oracle
 from repro.params import with_core

@@ -6,7 +6,7 @@ import pytest
 
 from conftest import run_to_halt
 from repro import tiny_config
-from repro.isa import Opcode, ProgramBuilder, run_oracle
+from repro.isa import ProgramBuilder, run_oracle
 
 A = 0x0123456789ABCDEF
 B = 0x00000000000000F7

@@ -8,7 +8,7 @@ from repro.errors import SimulationError
 from repro.isa.instructions import Instruction, Opcode
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.params import tiny_config
-from repro.pipeline.dyninst import DynInst, InstState
+from repro.pipeline.dyninst import DynInst
 from repro.pipeline.events import EventQueue
 from repro.pipeline.issue_queue import IssueQueue
 from repro.pipeline.lsq import LoadStoreQueue

@@ -2,8 +2,7 @@
 import pytest
 
 from conftest import ALL_SECURITY_CONFIGS, run_to_halt
-from repro import Processor, SecurityConfig, tiny_config
-from repro.errors import DeadlockError
+from repro import Processor, tiny_config
 from repro.isa import ProgramBuilder, run_oracle
 
 

@@ -6,7 +6,6 @@ from repro import paper_config
 from repro.attacks.evictset import EvictionAllocator, cache_set_of
 from repro.attacks.layout import AttackLayout
 from repro.attacks.sidechannel import (
-    Channel,
     EvictReloadChannel,
     FlushFlushChannel,
     FlushReloadChannel,

@@ -9,7 +9,7 @@ from repro.memory.hierarchy import (
     MemoryHierarchy,
 )
 from repro.memory.tlb import TLB, PageTable
-from repro.params import MemoryParams, TLBParams, tiny_config
+from repro.params import TLBParams, tiny_config
 
 
 class TestPageTable:

@@ -4,7 +4,6 @@ import pytest
 from repro import Processor, SecurityConfig, paper_config, run_oracle
 from repro.errors import ConfigError
 from repro.workloads import (
-    SPEC_PROFILES,
     SyntheticSpec,
     build_workload,
     spec_names,
