@@ -27,6 +27,7 @@ Quickstart::
     print(report.render())
 """
 from .core.policy import EVALUATION_MODES, ProtectionMode, SecurityConfig
+from .errors import CycleBudgetExceeded, DeadlockError, SimulationError
 from .isa import Instruction, Opcode, Program, ProgramBuilder, assemble
 from .isa.oracle import run_oracle
 from .memory.replacement import SpeculativeLRUPolicy
@@ -40,6 +41,7 @@ from .params import (
     xeon_like,
 )
 from .pipeline import PipelineTracer, Processor, SimReport
+from .robustness import FaultInjector, FaultPlan
 from .config_io import load_machine, machine_from_dict, save_machine
 
 __version__ = "1.0.0"
@@ -65,6 +67,11 @@ __all__ = [
     "Processor",
     "SimReport",
     "PipelineTracer",
+    "SimulationError",
+    "DeadlockError",
+    "CycleBudgetExceeded",
+    "FaultPlan",
+    "FaultInjector",
     "load_machine",
     "machine_from_dict",
     "save_machine",

@@ -6,6 +6,8 @@ Commands:
 - ``analyze``  - statically scan a program for Spectre gadgets.
 - ``attack``   - run a Spectre PoC under a protection mode.
 - ``bench``    - simulate a SPEC profile under one or all modes.
+- ``sweep``    - checkpointed benchmark x mode sweep with ``--resume``
+  and optional fault injection (``--inject``).
 - ``figure5`` / ``table4`` / ``table5`` / ``table6`` / ``lru`` /
   ``area``   - regenerate a paper artifact.
 """
@@ -33,6 +35,7 @@ from .attacks.sidechannel import (
 )
 from .core.policy import EVALUATION_MODES, ProtectionMode, SecurityConfig
 from .experiments import (
+    SweepEngine,
     run_area_study,
     run_figure5,
     run_lru_study,
@@ -168,9 +171,43 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .robustness import FaultPlan
+
+    machine = _machine(args)
+    modes = [ProtectionMode(name) for name in args.modes] \
+        if args.modes else list(EVALUATION_MODES)
+    fault_plan = None
+    if args.inject:
+        fault_plan = FaultPlan.moderate(seed=args.fault_seed)
+    engine = SweepEngine(
+        benchmarks=args.benchmarks or None,
+        modes=modes,
+        machine=machine,
+        scale=args.scale,
+        max_cycles=args.max_cycles,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        retries=args.retries,
+        wall_clock_budget=args.wall_clock_budget,
+        fault_plan=fault_plan,
+    )
+    result = engine.run(
+        progress=lambda row: print(
+            f"  {row.benchmark}/{row.mode.value}: {row.status} "
+            f"({row.cycles} cycles, {row.attempts} attempt(s))",
+            file=sys.stderr,
+        )
+    )
+    print(result.render())
+    return 0 if not result.failures else 1
+
+
 def _cmd_figure5(args: argparse.Namespace) -> int:
     result = run_figure5(benchmarks=args.benchmarks or None,
-                         scale=args.scale)
+                         scale=args.scale,
+                         checkpoint=args.checkpoint,
+                         resume=args.resume)
     print(result.render())
     if args.json:
         from .experiments.export import dump_json, figure5_to_dict
@@ -187,7 +224,9 @@ def _cmd_table4(args: argparse.Namespace) -> int:
 
 def _cmd_table5(args: argparse.Namespace) -> int:
     result = run_table5(benchmarks=args.benchmarks or None,
-                        scale=args.scale)
+                        scale=args.scale,
+                        checkpoint=args.checkpoint,
+                        resume=args.resume)
     print(result.render())
     if args.json:
         from .experiments.export import dump_json, table5_to_dict
@@ -274,6 +313,35 @@ def build_parser() -> argparse.ArgumentParser:
     _add_machine_arg(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
 
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="checkpointed benchmark x mode sweep (crash-safe, "
+             "resumable, optional fault injection)",
+    )
+    p_sweep.add_argument("benchmarks", nargs="*",
+                         help="benchmark subset (default: all)")
+    p_sweep.add_argument("--modes", nargs="*", default=None,
+                         choices=[m.value for m in EVALUATION_MODES],
+                         help="protection modes (default: all four)")
+    p_sweep.add_argument("--scale", type=float, default=1.0)
+    p_sweep.add_argument("--max-cycles", type=int, default=None)
+    p_sweep.add_argument("--wall-clock-budget", type=float, default=None,
+                         help="per-run wall-clock budget in seconds")
+    p_sweep.add_argument("--retries", type=int, default=2,
+                         help="retries per failing run (default 2)")
+    p_sweep.add_argument("--checkpoint", default=None,
+                         help="JSONL checkpoint file; completed "
+                              "(benchmark, mode) pairs are durably "
+                              "recorded as they finish")
+    p_sweep.add_argument("--resume", action="store_true",
+                         help="skip pairs already in --checkpoint")
+    p_sweep.add_argument("--inject", action="store_true",
+                         help="run under seeded fault injection")
+    p_sweep.add_argument("--fault-seed", type=int, default=0,
+                         help="fault-injection seed (default 0)")
+    _add_machine_arg(p_sweep)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
     for name, func, with_scale in [
         ("figure5", _cmd_figure5, True),
         ("table4", _cmd_table4, False),
@@ -289,6 +357,12 @@ def build_parser() -> argparse.ArgumentParser:
                                help="also write the result as JSON")
             p_exp.add_argument("benchmarks", nargs="*",
                                help="benchmark subset (default: all)")
+        if name in ("figure5", "table5"):
+            p_exp.add_argument("--checkpoint", default=None,
+                               help="JSONL checkpoint file for "
+                                    "crash-safe regeneration")
+            p_exp.add_argument("--resume", action="store_true",
+                               help="skip runs already in --checkpoint")
         p_exp.set_defaults(func=func)
 
     return parser

@@ -1,4 +1,5 @@
 """Exception types shared across the simulator."""
+from typing import Any, Optional
 
 
 class SimulationError(Exception):
@@ -18,4 +19,30 @@ class ExecutionError(SimulationError):
 
 
 class DeadlockError(SimulationError):
-    """The pipeline made no forward progress for too many cycles."""
+    """The pipeline made no forward progress for too many cycles.
+
+    When raised by the forward-progress watchdog the exception carries a
+    :class:`repro.robustness.watchdog.DeadlockDiagnostics` dump in
+    :attr:`diagnostics` (oldest ROB entry, structure occupancies, stall
+    reason, recent occupancy snapshots).
+    """
+
+    def __init__(self, message: str,
+                 diagnostics: Optional[Any] = None) -> None:
+        super().__init__(message)
+        self.diagnostics = diagnostics
+
+
+class CycleBudgetExceeded(SimulationError):
+    """The run consumed its cycle (or wall-clock) budget without
+    halting.
+
+    Distinct from :class:`DeadlockError`: the pipeline was still
+    committing instructions, it just had more work than the budget
+    allowed.  Callers that need the partial results can read
+    :attr:`report`.
+    """
+
+    def __init__(self, message: str, report: Optional[Any] = None) -> None:
+        super().__init__(message)
+        self.report = report

@@ -4,7 +4,14 @@ Every driver returns a result object with a ``render()`` text view and
 the raw numbers, so the benchmark harness and the tests share one code
 path.  See DESIGN.md's per-experiment index for the mapping.
 """
-from .runner import run_benchmark, run_modes, suite_overheads
+from .runner import (
+    SweepEngine,
+    SweepResult,
+    SweepRow,
+    run_benchmark,
+    run_modes,
+    suite_overheads,
+)
 from .figure5 import Figure5Result, run_figure5
 from .table4 import Table4Result, run_table4, SCENARIOS
 from .table5 import Table5Result, run_table5
@@ -19,6 +26,9 @@ from .ablations import (
 from .compare import compare_figure5, compare_table5, rank_correlation
 
 __all__ = [
+    "SweepEngine",
+    "SweepResult",
+    "SweepRow",
     "run_benchmark",
     "run_modes",
     "suite_overheads",

@@ -2,6 +2,7 @@
 the SPEC CPU 2006 suite."""
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
@@ -10,7 +11,7 @@ from ..params import MachineParams
 from ..stats import safe_div
 from ..workloads import spec_names
 from .formatting import text_table
-from .runner import average, run_modes
+from .runner import SweepEngine, average, run_modes
 
 
 @dataclass
@@ -83,13 +84,40 @@ def run_figure5(
     benchmarks: Optional[Iterable[str]] = None,
     machine: Optional[MachineParams] = None,
     scale: float = 1.0,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
 ) -> Figure5Result:
-    """Regenerate Figure 5 (normalized runtime, 4 modes x suite)."""
+    """Regenerate Figure 5 (normalized runtime, 4 modes x suite).
+
+    With ``checkpoint`` the per-(benchmark, mode) runs stream through a
+    :class:`~repro.experiments.runner.SweepEngine`, so an interrupted
+    regeneration picks up where it left off with ``resume=True``.
+    """
     result = Figure5Result()
-    for name in benchmarks or spec_names():
-        reports = run_modes(name, machine=machine, scale=scale)
+    if checkpoint is None and not resume:
+        for name in benchmarks or spec_names():
+            reports = run_modes(name, machine=machine, scale=scale)
+            result.rows.append(Figure5Row(
+                benchmark=name,
+                cycles={mode: report.cycles
+                        for mode, report in reports.items()},
+            ))
+        return result
+
+    engine = SweepEngine(benchmarks=list(benchmarks or spec_names()),
+                         machine=machine, scale=scale,
+                         checkpoint=checkpoint, resume=resume)
+    sweep = engine.run()
+    for name in engine.benchmarks:
+        reports = sweep.reports_for(name)
+        if len(reports) < len(engine.modes):
+            print(f"figure5: skipping {name}: incomplete reports "
+                  f"({len(reports)}/{len(engine.modes)} modes ok)",
+                  file=sys.stderr)
+            continue
         result.rows.append(Figure5Row(
             benchmark=name,
-            cycles={mode: report.cycles for mode, report in reports.items()},
+            cycles={mode: report.cycles
+                    for mode, report in reports.items()},
         ))
     return result

@@ -1,16 +1,47 @@
-"""Shared simulation driver for the performance experiments."""
+"""Hardened simulation driver for the performance experiments.
+
+Two layers:
+
+- :func:`run_benchmark` / :func:`run_modes` / :func:`suite_overheads` —
+  the direct API the experiment modules and tests call.
+- :class:`SweepEngine` — a crash-safe sweep over (benchmark, mode)
+  pairs: results stream to a JSON-lines checkpoint
+  (:class:`~repro.robustness.checkpoint.CheckpointStore`) as they
+  complete, ``resume=True`` skips pairs already recorded, transient
+  failures retry with exponential backoff, and one workload's
+  :class:`~repro.errors.SimulationError` degrades to a recorded
+  failure row instead of aborting the suite.  ``repro sweep`` on the
+  command line and the checkpoint-aware experiment drivers
+  (:func:`~repro.experiments.figure5.run_figure5` etc.) both sit on
+  this engine.
+"""
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.policy import EVALUATION_MODES, ProtectionMode, SecurityConfig
-from ..params import MachineParams, paper_config
+from ..errors import SimulationError
+from ..params import DEFAULT_MAX_CYCLES, MachineParams, paper_config
 from ..pipeline.processor import Processor
 from ..pipeline.report import SimReport
+from ..robustness.checkpoint import CheckpointStore
+from ..robustness.faults import FaultPlan
 from ..stats import safe_div
 from ..workloads import spec_names, spec_program
 
-DEFAULT_MAX_CYCLES = 8_000_000
+__all__ = [
+    "DEFAULT_MAX_CYCLES",
+    "run_benchmark",
+    "run_modes",
+    "suite_overheads",
+    "average",
+    "SweepEngine",
+    "SweepResult",
+    "SweepRow",
+]
 
 
 def run_benchmark(
@@ -19,13 +50,17 @@ def run_benchmark(
     security: Optional[SecurityConfig] = None,
     scale: float = 1.0,
     max_cycles: int = DEFAULT_MAX_CYCLES,
+    wall_clock_budget: Optional[float] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> SimReport:
     """Simulate one SPEC profile under one configuration."""
     machine = machine if machine is not None else paper_config()
     security = security if security is not None else SecurityConfig.origin()
     program = spec_program(name, scale=scale)
-    cpu = Processor(program, machine=machine, security=security)
-    report = cpu.run(max_cycles=max_cycles)
+    cpu = Processor(program, machine=machine, security=security,
+                    fault_plan=fault_plan)
+    report = cpu.run(max_cycles=max_cycles,
+                     wall_clock_budget=wall_clock_budget)
     report.name = name
     return report
 
@@ -51,14 +86,27 @@ def suite_overheads(
     machine: Optional[MachineParams] = None,
     benchmarks: Optional[Iterable[str]] = None,
     scale: float = 1.0,
+    isolate: bool = False,
 ) -> Dict[str, Dict[ProtectionMode, float]]:
-    """Per-benchmark overhead (vs Origin) for each requested mode."""
+    """Per-benchmark overhead (vs Origin) for each requested mode.
+
+    With ``isolate`` a benchmark whose simulation raises
+    :class:`SimulationError` is skipped (with a stderr note) instead of
+    aborting the whole suite.
+    """
     result: Dict[str, Dict[ProtectionMode, float]] = {}
     for name in benchmarks or spec_names():
-        reports = run_modes(
-            name, machine=machine,
-            modes=[ProtectionMode.ORIGIN, *modes], scale=scale,
-        )
+        try:
+            reports = run_modes(
+                name, machine=machine,
+                modes=[ProtectionMode.ORIGIN, *modes], scale=scale,
+            )
+        except SimulationError as exc:
+            if not isolate:
+                raise
+            print(f"suite_overheads: skipping {name}: "
+                  f"{type(exc).__name__}: {exc}", file=sys.stderr)
+            continue
         origin_cycles = reports[ProtectionMode.ORIGIN].cycles
         result[name] = {
             mode: safe_div(reports[mode].cycles, origin_cycles, 1.0) - 1.0
@@ -72,3 +120,271 @@ def average(values: Iterable[float]) -> float:
     if not values:
         return 0.0
     return sum(values) / len(values)
+
+
+# ---------------------------------------------------------------------------
+# Crash-safe sweep engine
+# ---------------------------------------------------------------------------
+
+#: Signature run_fn must satisfy (run_benchmark is the default).
+RunFn = Callable[..., SimReport]
+
+
+@dataclass
+class SweepRow:
+    """Result of one (benchmark, mode) pair — success or failure."""
+
+    benchmark: str
+    mode: ProtectionMode
+    status: str                    # "ok" | "failed"
+    termination: str = ""
+    cycles: int = 0
+    committed: int = 0
+    attempts: int = 1
+    duration_s: float = 0.0
+    error_type: str = ""
+    error: str = ""
+    #: True when this row was loaded from a checkpoint, not re-run.
+    resumed: bool = False
+    report: Optional[SimReport] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_record(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "benchmark": self.benchmark,
+            "mode": self.mode.value,
+            "status": self.status,
+            "termination": self.termination,
+            "cycles": self.cycles,
+            "committed": self.committed,
+            "attempts": self.attempts,
+            "duration_s": round(self.duration_s, 6),
+            "error_type": self.error_type,
+            "error": self.error,
+        }
+        if self.report is not None:
+            record["report"] = self.report.to_dict()
+        return record
+
+    @classmethod
+    def from_record(cls, record: Dict[str, object]) -> "SweepRow":
+        report = None
+        if isinstance(record.get("report"), dict):
+            report = SimReport.from_dict(record["report"])  # type: ignore[arg-type]
+        return cls(
+            benchmark=str(record.get("benchmark", "")),
+            mode=ProtectionMode(record.get("mode")),
+            status=str(record.get("status", "failed")),
+            termination=str(record.get("termination", "")),
+            cycles=int(record.get("cycles", 0)),
+            committed=int(record.get("committed", 0)),
+            attempts=int(record.get("attempts", 1)),
+            duration_s=float(record.get("duration_s", 0.0)),
+            error_type=str(record.get("error_type", "")),
+            error=str(record.get("error", "")),
+            resumed=True,
+            report=report,
+        )
+
+
+@dataclass
+class SweepResult:
+    """Every row of one sweep, resumed rows included."""
+
+    rows: List[SweepRow] = field(default_factory=list)
+    checkpoint_path: Optional[str] = None
+
+    @property
+    def failures(self) -> List[SweepRow]:
+        return [row for row in self.rows if not row.ok]
+
+    @property
+    def resumed(self) -> int:
+        return sum(1 for row in self.rows if row.resumed)
+
+    def row(self, benchmark: str, mode: ProtectionMode) \
+            -> Optional[SweepRow]:
+        for row in self.rows:
+            if row.benchmark == benchmark and row.mode is mode:
+                return row
+        return None
+
+    def report_for(self, benchmark: str, mode: ProtectionMode) \
+            -> Optional[SimReport]:
+        row = self.row(benchmark, mode)
+        return row.report if row is not None and row.ok else None
+
+    def reports_for(self, benchmark: str) \
+            -> Dict[ProtectionMode, SimReport]:
+        """All successful reports of one benchmark, keyed by mode."""
+        reports: Dict[ProtectionMode, SimReport] = {}
+        for row in self.rows:
+            if row.benchmark == benchmark and row.ok \
+                    and row.report is not None:
+                reports[row.mode] = row.report
+        return reports
+
+    @property
+    def benchmarks(self) -> List[str]:
+        seen: List[str] = []
+        for row in self.rows:
+            if row.benchmark not in seen:
+                seen.append(row.benchmark)
+        return seen
+
+    def render(self) -> str:
+        lines = [f"{'benchmark':<14}{'mode':<18}{'status':<8}"
+                 f"{'cycles':>10}{'attempts':>9}  note"]
+        for row in self.rows:
+            note = "resumed" if row.resumed else ""
+            if not row.ok:
+                note = f"{row.error_type}: {row.error}"[:60]
+            elif row.termination not in ("", "halt"):
+                note = (note + " " if note else "") + row.termination
+            lines.append(
+                f"{row.benchmark:<14}{row.mode.value:<18}"
+                f"{row.status:<8}{row.cycles:>10}{row.attempts:>9}  "
+                f"{note}"
+            )
+        lines.append(
+            f"{len(self.rows)} rows: "
+            f"{len(self.rows) - len(self.failures)} ok, "
+            f"{len(self.failures)} failed, {self.resumed} resumed"
+        )
+        return "\n".join(lines)
+
+
+class SweepEngine:
+    """Checkpointing, fault-tolerant sweep over benchmarks x modes.
+
+    Each completed pair is durably appended to ``checkpoint`` before
+    the next one starts, so a killed sweep resumes (``resume=True``)
+    without re-running recorded pairs.  A failing workload is retried
+    ``retries`` times with exponential backoff (``backoff * 2**n``
+    seconds) and then recorded as a failure row; the sweep carries on.
+    """
+
+    def __init__(
+        self,
+        benchmarks: Optional[Sequence[str]] = None,
+        modes: Sequence[ProtectionMode] = EVALUATION_MODES,
+        machine: Optional[MachineParams] = None,
+        scale: float = 1.0,
+        max_cycles: Optional[int] = None,
+        checkpoint: Optional[str] = None,
+        resume: bool = False,
+        retries: int = 2,
+        backoff: float = 0.25,
+        wall_clock_budget: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        run_fn: Optional[RunFn] = None,
+    ) -> None:
+        self.benchmarks = list(benchmarks) if benchmarks is not None \
+            else spec_names()
+        self.modes = list(modes)
+        self.machine = machine
+        self.scale = scale
+        self.max_cycles = max_cycles if max_cycles is not None \
+            else DEFAULT_MAX_CYCLES
+        self.checkpoint = checkpoint
+        self.resume = resume
+        self.retries = max(0, retries)
+        self.backoff = max(0.0, backoff)
+        self.wall_clock_budget = wall_clock_budget
+        self.fault_plan = fault_plan
+        self.run_fn: RunFn = run_fn if run_fn is not None else run_benchmark
+
+    # ---- plumbing --------------------------------------------------------
+
+    def tasks(self) -> List[Tuple[str, ProtectionMode]]:
+        return [(name, mode) for name in self.benchmarks
+                for mode in self.modes]
+
+    def _config(self) -> Dict[str, object]:
+        return {
+            "benchmarks": self.benchmarks,
+            "modes": [mode.value for mode in self.modes],
+            "machine": self.machine.name if self.machine is not None
+            else "paper",
+            "scale": self.scale,
+            "max_cycles": self.max_cycles,
+            "injecting": self.fault_plan is not None,
+        }
+
+    def _plan_for(self, benchmark: str, mode: ProtectionMode) \
+            -> Optional[FaultPlan]:
+        if self.fault_plan is None:
+            return None
+        return self.fault_plan.derive(f"{benchmark}/{mode.value}")
+
+    def _run_one(self, benchmark: str, mode: ProtectionMode) -> SweepRow:
+        attempts = 0
+        started = time.monotonic()
+        while True:
+            attempts += 1
+            try:
+                report = self.run_fn(
+                    benchmark,
+                    machine=self.machine,
+                    security=SecurityConfig(mode=mode),
+                    scale=self.scale,
+                    max_cycles=self.max_cycles,
+                    wall_clock_budget=self.wall_clock_budget,
+                    fault_plan=self._plan_for(benchmark, mode),
+                )
+            except SimulationError as exc:
+                if attempts <= self.retries:
+                    time.sleep(self.backoff * (2 ** (attempts - 1)))
+                    continue
+                return SweepRow(
+                    benchmark=benchmark, mode=mode, status="failed",
+                    termination=getattr(
+                        getattr(exc, "report", None), "termination", ""),
+                    attempts=attempts,
+                    duration_s=time.monotonic() - started,
+                    error_type=type(exc).__name__,
+                    error=str(exc).splitlines()[0] if str(exc) else "",
+                )
+            return SweepRow(
+                benchmark=benchmark, mode=mode, status="ok",
+                termination=report.termination,
+                cycles=report.cycles, committed=report.committed,
+                attempts=attempts,
+                duration_s=time.monotonic() - started,
+                report=report,
+            )
+
+    # ---- the sweep -------------------------------------------------------
+
+    def run(self, progress: Optional[Callable[[SweepRow], None]] = None) \
+            -> SweepResult:
+        store = CheckpointStore(self.checkpoint) \
+            if self.checkpoint else None
+        done: Dict[str, SweepRow] = {}
+        if store is not None:
+            if self.resume and store.exists():
+                _header, records = store.load()
+                for key, record in records.items():
+                    try:
+                        done[key] = SweepRow.from_record(record)
+                    except (ValueError, KeyError):
+                        continue  # unreadable row: just re-run the pair
+            else:
+                store.reset(self._config())
+
+        result = SweepResult(rows=[], checkpoint_path=self.checkpoint)
+        for benchmark, mode in self.tasks():
+            key = CheckpointStore.task_key(benchmark, mode.value)
+            if key in done:
+                result.rows.append(done[key])
+                continue
+            row = self._run_one(benchmark, mode)
+            if store is not None:
+                store.append(key, row.to_record())
+            result.rows.append(row)
+            if progress is not None:
+                progress(row)
+        return result

@@ -3,6 +3,7 @@ under the three mechanisms, the speculative-access hit rate seen by the
 Cache-hit filter, and the TPBuf S-Pattern mismatch rate."""
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional
 
@@ -10,7 +11,7 @@ from ..core.policy import ProtectionMode
 from ..params import MachineParams
 from ..workloads import spec_names
 from .formatting import percent, text_table
-from .runner import average, run_modes
+from .runner import SweepEngine, average, run_modes
 
 
 @dataclass
@@ -70,11 +71,29 @@ def run_table5(
     benchmarks: Optional[Iterable[str]] = None,
     machine: Optional[MachineParams] = None,
     scale: float = 1.0,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
 ) -> Table5Result:
-    """Regenerate Table V."""
+    """Regenerate Table V (checkpoint/resume as in
+    :func:`~repro.experiments.figure5.run_figure5`)."""
+    sweep = None
+    if checkpoint is not None or resume:
+        engine = SweepEngine(benchmarks=list(benchmarks or spec_names()),
+                             machine=machine, scale=scale,
+                             checkpoint=checkpoint, resume=resume)
+        sweep = engine.run()
+        benchmarks = engine.benchmarks
+
     result = Table5Result()
     for name in benchmarks or spec_names():
-        reports = run_modes(name, machine=machine, scale=scale)
+        if sweep is not None:
+            reports = sweep.reports_for(name)
+            if len(reports) < 4:
+                print(f"table5: skipping {name}: incomplete reports",
+                      file=sys.stderr)
+                continue
+        else:
+            reports = run_modes(name, machine=machine, scale=scale)
         origin = reports[ProtectionMode.ORIGIN]
         baseline = reports[ProtectionMode.BASELINE]
         cachehit = reports[ProtectionMode.CACHE_HIT]

@@ -65,11 +65,18 @@ def run_table6(
     machines: Optional[List[MachineParams]] = None,
     benchmarks: Optional[Iterable[str]] = None,
     scale: float = 1.0,
+    isolate: bool = False,
 ) -> Table6Result:
-    """Regenerate Table VI over the three core presets."""
+    """Regenerate Table VI over the three core presets.
+
+    ``isolate`` lets one benchmark's :class:`~repro.errors.
+    SimulationError` drop that row instead of aborting all presets.
+    """
     result = Table6Result()
+    benchmarks = list(benchmarks) if benchmarks is not None else None
     for machine in machines or default_machines():
         result.overheads[machine.name] = suite_overheads(
             _MODES, machine=machine, benchmarks=benchmarks, scale=scale,
+            isolate=isolate,
         )
     return result

@@ -10,6 +10,11 @@ from dataclasses import dataclass, field, replace
 
 from .errors import ConfigError
 
+#: Default simulation cycle budget, shared by :meth:`Processor.run`,
+#: the experiment runner and the CLI so a benchmark behaves the same
+#: no matter which entry point launched it.
+DEFAULT_MAX_CYCLES = 8_000_000
+
 
 def _power_of_two(value: int) -> bool:
     return value > 0 and (value & (value - 1)) == 0

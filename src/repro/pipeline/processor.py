@@ -25,6 +25,7 @@ Fidelity notes (also in DESIGN.md):
 """
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Union
@@ -33,7 +34,7 @@ from ..core.filters import HazardFilters, MissVerdict
 from ..core.icache_filter import ICacheHitFilter
 from ..core.policy import ProtectionMode, SecurityConfig
 from ..core.tpbuf import TPBuf
-from ..errors import DeadlockError, SimulationError
+from ..errors import CycleBudgetExceeded, SimulationError
 from ..frontend.branch_predictor import BranchPredictor
 from ..isa.instructions import (
     INSTRUCTION_BYTES,
@@ -48,7 +49,12 @@ from ..isa.program import InstructionMemory, Program
 from ..memory.hierarchy import MemoryHierarchy
 from ..memory.replacement import SpeculativeLRUPolicy
 from ..memory.tlb import TLB, PageTable
-from ..params import MachineParams, paper_config
+from ..params import DEFAULT_MAX_CYCLES, MachineParams, paper_config
+from ..robustness.faults import FaultInjector, FaultPlan
+from ..robustness.watchdog import (
+    DEFAULT_WATCHDOG_CYCLES,
+    ForwardProgressWatchdog,
+)
 from ..stats import StatGroup, combine
 from .dyninst import DynInst, InstState
 from .events import EventQueue
@@ -65,8 +71,8 @@ _WORD_ALIGN = ~(WORD_BYTES - 1)
 _AGU_LATENCY = 1
 #: Forwarded loads complete with L1-hit-like latency.
 _FORWARD_LATENCY = 2
-#: Cycles without a commit before the watchdog declares deadlock.
-_WATCHDOG_CYCLES = 50_000
+#: How often (in cycles) a wall-clock budget is polled during a run.
+_WALL_CLOCK_POLL_CYCLES = 4096
 
 
 @dataclass
@@ -92,6 +98,8 @@ class Processor:
         initial_registers: Optional[Dict[int, int]] = None,
         tracer: Optional["PipelineTracer"] = None,
         check_invariants: bool = False,
+        fault_plan: Optional[Union[FaultPlan, FaultInjector]] = None,
+        watchdog_cycles: int = DEFAULT_WATCHDOG_CYCLES,
     ) -> None:
         self.machine = machine or paper_config()
         self.security = security or SecurityConfig.origin()
@@ -165,6 +173,16 @@ class Processor:
         #: Debug flag: run the structural invariant lint every cycle
         #: (see :mod:`repro.pipeline.invariants`).
         self.check_invariants = check_invariants
+        #: Fault injection (see :mod:`repro.robustness.faults`); a
+        #: pre-built injector may be passed for custom fault models.
+        if fault_plan is None:
+            self.faults: Optional[FaultInjector] = None
+        elif isinstance(fault_plan, FaultInjector):
+            self.faults = fault_plan
+        else:
+            self.faults = FaultInjector(fault_plan)
+        self._filter_bypass = False
+        self.watchdog = ForwardProgressWatchdog(limit=watchdog_cycles)
         self.stats = StatGroup("processor")
         self.report = SimReport(name="run", mode=self.security.mode)
 
@@ -172,15 +190,55 @@ class Processor:
     # Public API
     # ------------------------------------------------------------------
 
-    def run(self, max_cycles: int = 2_000_000) -> SimReport:
-        """Simulate until HALT commits or ``max_cycles`` elapse."""
+    def run(
+        self,
+        max_cycles: Optional[int] = None,
+        wall_clock_budget: Optional[float] = None,
+        raise_on_budget: bool = False,
+    ) -> SimReport:
+        """Simulate until HALT commits or a budget runs out.
+
+        ``max_cycles`` defaults to :data:`repro.params.DEFAULT_MAX_CYCLES`;
+        ``wall_clock_budget`` is in seconds and polled coarsely.  When a
+        budget expires the run terminates and the report's
+        :attr:`~repro.pipeline.report.SimReport.termination` records
+        which budget did; with ``raise_on_budget`` a
+        :class:`~repro.errors.CycleBudgetExceeded` (carrying the report)
+        is raised instead of returning quietly.
+        """
+        if max_cycles is None:
+            max_cycles = DEFAULT_MAX_CYCLES
+        deadline = None
+        if wall_clock_budget is not None:
+            deadline = time.monotonic() + wall_clock_budget
+        budget = ""
         while not self.halted and self.cycle < max_cycles:
             self.step()
-        return self.finalize_report()
+            if deadline is not None \
+                    and self.cycle % _WALL_CLOCK_POLL_CYCLES == 0 \
+                    and time.monotonic() >= deadline:
+                budget = "wall_clock"
+                break
+        if not self.halted and not budget and self.cycle >= max_cycles:
+            budget = "cycle_budget"
+        if budget:
+            self.report.termination = budget
+        report = self.finalize_report()
+        if budget and raise_on_budget:
+            raise CycleBudgetExceeded(
+                f"run '{report.name}' exhausted its {budget} budget "
+                f"after {self.cycle} cycles "
+                f"({report.committed} committed)",
+                report=report,
+            )
+        return report
 
     def step(self) -> None:
         """Advance the machine by one cycle."""
         self.cycle += 1
+        if self.faults is not None:
+            self._filter_bypass = self.faults.filter_disabled(self.cycle)
+            self._inject_spurious_squash()
         self.events.fire(self.cycle)
         self._apply_pending_squash()
         self._commit()
@@ -192,11 +250,7 @@ class Processor:
         self.store_buffer.tick(self.cycle)
         if self.check_invariants:
             check_processor_invariants(self)
-        if self.cycle - self._last_commit_cycle > _WATCHDOG_CYCLES:
-            raise DeadlockError(
-                f"no commit for {_WATCHDOG_CYCLES} cycles at cycle "
-                f"{self.cycle}; ROB head: {self.rob.head()!r}"
-            )
+        self.watchdog.observe(self)
 
     # ---- architectural inspection helpers ---------------------------------
 
@@ -386,8 +440,16 @@ class Processor:
         if not eligible:
             return
         eligible.sort(key=lambda candidate: candidate.seq)
-        for inst in eligible[: self.machine.core.issue_width]:
+        issued = 0
+        for inst in eligible:
+            if issued >= self.machine.core.issue_width:
+                break
+            if self.faults is not None \
+                    and self.faults.drop_wakeup(self.cycle, inst):
+                self.stats.incr("issue_dropped_injected")
+                continue
             self._issue_inst(inst)
+            issued += 1
 
     def _sources_ready(self, inst: DynInst) -> bool:
         """Operand readiness; stores only need their address operand."""
@@ -520,6 +582,11 @@ class Processor:
         inst.taken = taken
         inst.actual_target = actual_next
         inst.mispredicted = actual_next != predicted_next
+        if (not inst.mispredicted and self.faults is not None
+                and self.faults.force_branch_mispredict(self.cycle, inst)):
+            # Injected mispredict: squash and redirect to the (correct)
+            # target, exercising recovery on a never-squashing path.
+            inst.mispredicted = True
         inst.resolved = True
         inst.state = InstState.COMPLETED
         inst.cycle_completed = self.cycle
@@ -553,6 +620,13 @@ class Processor:
 
     def _load_cache_stage(self, inst: DynInst) -> None:
         if inst.squashed:
+            return
+        if self.faults is not None \
+                and self.faults.force_memdep_wait(self.cycle, inst):
+            # Injected memory-dependence mispredict: replay as if an
+            # older store's unknown address forced the load to wait.
+            self._load_replay.append(inst)
+            self.stats.incr("load_wait_injected")
             return
         decision = self.lsq.check_load(inst)
         if decision.speculation_hazard \
@@ -591,7 +665,11 @@ class Processor:
         filter_mode = self.security.mode in (
             ProtectionMode.CACHE_HIT, ProtectionMode.CACHE_HIT_TPBUF
         )
-        if inst.suspect and filter_mode:
+        if inst.suspect and filter_mode and self._filter_bypass:
+            # Injected filter-disable window: the suspect miss proceeds
+            # as if the machine were unprotected for these cycles.
+            self.stats.incr("filter_bypassed_injected")
+        elif inst.suspect and filter_mode:
             self.report.suspect_accesses += 1
             decision2 = self.filters.judge_suspect_load(
                 hit, inst.tpbuf_index if inst.tpbuf_index is not None else 0,
@@ -618,6 +696,8 @@ class Processor:
             result = self.hierarchy.complete_miss(inst.paddr)
             latency = result.latency
             inst.mem_level = result.level
+        if self.faults is not None:
+            latency += self.faults.extra_fill_delay(self.cycle, inst)
         self._schedule(latency, lambda: self._complete_load(inst, value))
 
     def _complete_load(self, inst: DynInst, value: int) -> None:
@@ -712,10 +792,42 @@ class Processor:
     # Squash
     # ------------------------------------------------------------------
 
+    def _inject_spurious_squash(self) -> None:
+        """Fault injection: flush everything younger than a randomly
+        chosen ROB resident (models machine clears / replay traps).
+
+        The redirect PC is the victim's architecturally safe next fetch
+        address — resolved target, predicted target, or PC+4 — so the
+        perturbation changes timing, never semantics.
+        """
+        assert self.faults is not None
+        if not self.faults.want_spurious_squash(self.cycle):
+            return
+        candidates = [inst for inst in self.rob
+                      if inst.instr.op is not Opcode.HALT]
+        keep = self.faults.choose_squash_point(self.cycle, candidates)
+        if keep is None:
+            return
+        if keep.instr.is_branch:
+            redirect = keep.actual_target if keep.resolved \
+                else keep.pred_target
+        else:
+            redirect = keep.pc + INSTRUCTION_BYTES
+        self._request_squash(keep.seq, redirect, "injected")
+
     def _request_squash(self, keep_seq: int, redirect_pc: int,
                         kind: str) -> None:
         if self._pending_squash is None \
                 or keep_seq < self._pending_squash[0]:
+            self._pending_squash = (keep_seq, redirect_pc, kind)
+            return
+        # An architectural squash at the same keep point must override a
+        # pending injected one: the injected redirect was computed from
+        # the keep's *predicted* target, which goes stale if the keep
+        # itself resolves mispredicted later in the same cycle.
+        if keep_seq == self._pending_squash[0] \
+                and self._pending_squash[2] == "injected" \
+                and kind != "injected":
             self._pending_squash = (keep_seq, redirect_pc, kind)
 
     def _apply_pending_squash(self) -> None:
@@ -817,6 +929,10 @@ class Processor:
     def finalize_report(self) -> SimReport:
         report = self.report
         report.cycles = self.cycle
+        if not report.termination:
+            report.termination = "halt" if self.halted else "cycle_budget"
+        if self.faults is not None:
+            report.injected_faults = self.faults.summary()
         report.l1d_hits = self.hierarchy.l1d.stats.get("hits")
         report.l1d_misses = self.hierarchy.l1d.stats.get("misses")
         report.l1i_hits = self.hierarchy.l1i.stats.get("hits")

@@ -1,8 +1,8 @@
 """Simulation report: the statistics the paper's tables are built from."""
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List
 
 from ..core.policy import ProtectionMode
 from ..stats import safe_div
@@ -34,6 +34,14 @@ class SimReport:
     committed_branches: int = 0
     committed_mem_blocked: int = 0
     halted: bool = False
+    #: What ended the run: ``"halt"``, ``"cycle_budget"``,
+    #: ``"wall_clock"`` or ``"deadlock"`` ("" until finalized) — the
+    #: programmatic twin of :class:`~repro.errors.CycleBudgetExceeded`
+    #: vs :class:`~repro.errors.DeadlockError`.
+    termination: str = ""
+    #: Per-kind injected fault counts when the run carried a
+    #: :class:`~repro.robustness.faults.FaultInjector` (else empty).
+    injected_faults: Dict[str, int] = field(default_factory=dict)
     # Speculation bookkeeping.
     suspect_issues: int = 0
     block_events: int = 0
@@ -104,13 +112,32 @@ class SimReport:
         """Relative slowdown against an Origin run of the same program."""
         return safe_div(self.cycles, origin.cycles, default=1.0) - 1.0
 
+    # ---- (de)serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict (checkpoint rows, exports)."""
+        data = asdict(self)
+        data["mode"] = self.mode.value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SimReport":
+        """Inverse of :meth:`to_dict`; unknown keys are ignored so old
+        checkpoints stay loadable across report-schema growth."""
+        fields = {f for f in cls.__dataclass_fields__}
+        payload = {k: v for k, v in data.items() if k in fields}
+        payload["mode"] = ProtectionMode(payload["mode"])
+        return cls(**payload)
+
     # ---- rendering --------------------------------------------------------------
 
     def render(self) -> str:
         lines = [
             f"run '{self.name}' mode={self.mode.value}",
             f"  cycles={self.cycles} committed={self.committed} "
-            f"ipc={self.ipc:.3f} halted={self.halted}",
+            f"ipc={self.ipc:.3f} halted={self.halted}"
+            + (f" termination={self.termination}"
+               if self.termination and self.termination != "halt" else ""),
             f"  loads={self.committed_loads} stores={self.committed_stores} "
             f"branches={self.committed_branches} "
             f"mispredict_rate={self.branch_mispredict_rate:.3%}",
@@ -121,6 +148,13 @@ class SimReport:
             f"order_violations={self.memory_order_violations} "
             f"spattern_mismatch={self.spattern_mismatch_rate:.3%}",
         ]
+        if self.injected_faults:
+            total = sum(self.injected_faults.values())
+            detail = " ".join(
+                f"{kind}={count}" for kind, count
+                in sorted(self.injected_faults.items())
+            )
+            lines.append(f"  injected_faults={total} ({detail})")
         return "\n".join(lines)
 
 

@@ -1,0 +1,102 @@
+"""Crash-safe JSON-lines checkpoint store for experiment sweeps.
+
+Layout: the first line is a header record (``{"kind": "header", ...}``)
+carrying the sweep configuration; every subsequent line is one result
+record keyed by ``key`` (``"<benchmark>/<mode>"``).  Records are
+appended with ``flush`` + ``fsync`` so a killed sweep loses at most the
+row being written; a truncated trailing line (the crash signature) is
+tolerated and skipped on load.  Re-running a pair appends a fresh
+record — the *last* record per key wins — so the file doubles as a
+retry history.
+"""
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from ..errors import SimulationError
+
+FORMAT = "repro-sweep-checkpoint"
+VERSION = 1
+
+
+class CheckpointError(SimulationError):
+    """The checkpoint file is unreadable or from a different sweep."""
+
+
+class CheckpointStore:
+    """Append-only JSONL store with last-record-wins load semantics."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    # ---- writing ---------------------------------------------------------
+
+    def reset(self, config: Optional[Dict[str, Any]] = None) -> None:
+        """Truncate and write a fresh header."""
+        header = {"kind": "header", "format": FORMAT, "version": VERSION,
+                  "config": config or {}}
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        with open(self.path, "w") as handle:
+            handle.write(json.dumps(header) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def append(self, key: str, record: Dict[str, Any]) -> None:
+        """Durably append one result record."""
+        payload = dict(record)
+        payload["kind"] = "row"
+        payload["key"] = key
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(payload) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # ---- reading ---------------------------------------------------------
+
+    def _iter_records(self) -> Iterable[Dict[str, Any]]:
+        with open(self.path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A torn trailing line from a crash mid-append; the
+                    # row it would have recorded simply re-runs.
+                    continue
+                if isinstance(record, dict):
+                    yield record
+
+    def load(self) -> Tuple[Dict[str, Any], Dict[str, Dict[str, Any]]]:
+        """Return ``(header_config, rows_by_key)``; last record wins."""
+        if not self.exists():
+            return {}, {}
+        header: Dict[str, Any] = {}
+        rows: Dict[str, Dict[str, Any]] = {}
+        saw_header = False
+        for record in self._iter_records():
+            kind = record.get("kind")
+            if kind == "header":
+                if record.get("format") != FORMAT:
+                    raise CheckpointError(
+                        f"{self.path}: not a sweep checkpoint "
+                        f"(format={record.get('format')!r})"
+                    )
+                header = record.get("config", {})
+                saw_header = True
+            elif kind == "row" and "key" in record:
+                rows[record["key"]] = record
+        if not saw_header and rows:
+            raise CheckpointError(f"{self.path}: missing header record")
+        return header, rows
+
+    @staticmethod
+    def task_key(benchmark: str, mode: str) -> str:
+        return f"{benchmark}/{mode}"

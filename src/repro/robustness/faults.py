@@ -1,0 +1,284 @@
+"""Seeded, deterministic microarchitectural fault injection.
+
+A :class:`FaultPlan` describes *what* to perturb (per-kind rates,
+delay magnitudes, window lengths) and a :class:`FaultInjector` decides,
+from a private seeded RNG, *when* each perturbation fires.  The
+processor consults the injector at its speculation decision points;
+every injected event is logged as a :class:`FaultEvent` so a campaign
+can correlate a divergence with the exact perturbation sequence that
+provoked it.
+
+Fault model — every fault is *architecturally neutral* by
+construction, so the functional oracle remains the ground truth:
+
+``branch_mispredict``
+    A correctly predicted branch is treated as mispredicted at
+    resolution: everything younger squashes and fetch redirects to the
+    (correct) target.  Exercises squash recovery on paths that never
+    squash naturally.
+``fill_delay``
+    Extra cycles on a load's cache/forward completion — a late fill.
+    Purely temporal.
+``spurious_squash``
+    A squash of every instruction younger than a randomly chosen ROB
+    resident, redirecting fetch to that instruction's next PC (its
+    resolved target, its predicted target, or PC+4).  Models external
+    flush events (interrupt replays, machine clears).
+``memdep_wait``
+    A load is forced to replay instead of accessing the cache — a
+    mispredicted memory dependence.  Capped per load
+    (:attr:`FaultPlan.memdep_wait_cap`) to preserve forward progress.
+``filter_disable``
+    A window of cycles during which the Cache-hit/TPBuf hazard filters
+    are bypassed, so suspect misses proceed: the unprotected-machine
+    interleaving inside a protected run.
+``iq_wakeup_drop``
+    An issue-eligible instruction is skipped by select this cycle — a
+    dropped wakeup that the next select cycle recovers.  Capped per
+    instruction.
+"""
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from zlib import crc32
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..pipeline.dyninst import DynInst
+
+#: Every injectable fault kind, in log order.
+FAULT_KINDS: Tuple[str, ...] = (
+    "branch_mispredict",
+    "fill_delay",
+    "spurious_squash",
+    "memdep_wait",
+    "filter_disable",
+    "iq_wakeup_drop",
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to inject, how often, and from which seed.
+
+    Rates are per consultation: per correctly-predicted branch
+    resolution (``branch_mispredict``), per load completion
+    (``fill_delay``), per cycle (``spurious_squash`` and
+    ``filter_disable`` window starts), per load cache stage
+    (``memdep_wait``) and per eligible-instruction select
+    (``iq_wakeup_drop``).
+    """
+
+    seed: int = 0
+    branch_mispredict_rate: float = 0.0
+    fill_delay_rate: float = 0.0
+    fill_delay_max: int = 64
+    spurious_squash_rate: float = 0.0
+    memdep_wait_rate: float = 0.0
+    memdep_wait_cap: int = 4
+    filter_disable_rate: float = 0.0
+    filter_disable_window: int = 32
+    iq_wakeup_drop_rate: float = 0.0
+    iq_wakeup_drop_cap: int = 8
+    #: Injection only starts once the pipeline has warmed this long.
+    start_cycle: int = 0
+    #: Hard cap on logged events (None = unlimited).
+    max_events: Optional[int] = None
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=seed)
+
+    def derive(self, key: str) -> "FaultPlan":
+        """A plan with a seed decorrelated by ``key`` (deterministic)."""
+        return replace(self, seed=(self.seed * 0x9E3779B1 + crc32(
+            key.encode())) & 0x7FFFFFFF)
+
+    @classmethod
+    def moderate(cls, seed: int = 0) -> "FaultPlan":
+        """The default campaign mix: every kind armed at a rate that
+        perturbs without drowning the run in squashes."""
+        return cls(
+            seed=seed,
+            branch_mispredict_rate=0.02,
+            fill_delay_rate=0.05,
+            fill_delay_max=96,
+            spurious_squash_rate=0.0005,
+            memdep_wait_rate=0.05,
+            filter_disable_rate=0.0005,
+            filter_disable_window=48,
+            iq_wakeup_drop_rate=0.05,
+        )
+
+    @classmethod
+    def aggressive(cls, seed: int = 0) -> "FaultPlan":
+        """A squash-storm mix for short programs (campaign stress)."""
+        return cls(
+            seed=seed,
+            branch_mispredict_rate=0.25,
+            fill_delay_rate=0.3,
+            fill_delay_max=200,
+            spurious_squash_rate=0.01,
+            memdep_wait_rate=0.3,
+            filter_disable_rate=0.005,
+            filter_disable_window=64,
+            iq_wakeup_drop_rate=0.25,
+        )
+
+    @property
+    def armed(self) -> bool:
+        return any((
+            self.branch_mispredict_rate, self.fill_delay_rate,
+            self.spurious_squash_rate, self.memdep_wait_rate,
+            self.filter_disable_rate, self.iq_wakeup_drop_rate,
+        ))
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected perturbation, as logged."""
+
+    cycle: int
+    kind: str
+    seq: int = -1
+    pc: int = -1
+    detail: str = ""
+
+    def render(self) -> str:
+        where = f" seq={self.seq} pc={self.pc:#x}" if self.seq >= 0 else ""
+        extra = f" ({self.detail})" if self.detail else ""
+        return f"cycle {self.cycle}: {self.kind}{where}{extra}"
+
+
+class FaultInjector:
+    """Stateful decision-maker the processor consults each cycle.
+
+    All randomness comes from one private ``random.Random(plan.seed)``,
+    so a (program, machine, security, plan) tuple replays bit-for-bit —
+    the property the campaign's divergence triage depends on.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        self.events: List[FaultEvent] = []
+        self.counts: Dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        self._filter_disabled_until = -1
+        self._memdep_forced: Dict[int, int] = {}
+        self._wakeup_dropped: Dict[int, int] = {}
+
+    # ---- internals -------------------------------------------------------
+
+    def _armed(self, cycle: int) -> bool:
+        if cycle < self.plan.start_cycle:
+            return False
+        if self.plan.max_events is not None \
+                and len(self.events) >= self.plan.max_events:
+            return False
+        return True
+
+    def _record(self, cycle: int, kind: str, seq: int = -1, pc: int = -1,
+                detail: str = "") -> None:
+        self.events.append(FaultEvent(cycle, kind, seq, pc, detail))
+        self.counts[kind] += 1
+
+    # ---- processor hooks -------------------------------------------------
+
+    def force_branch_mispredict(self, cycle: int, inst: "DynInst") -> bool:
+        """Whether a *correctly* predicted branch should squash anyway."""
+        if not self._armed(cycle) \
+                or self._rng.random() >= self.plan.branch_mispredict_rate:
+            return False
+        self._record(cycle, "branch_mispredict", inst.seq, inst.pc)
+        return True
+
+    def extra_fill_delay(self, cycle: int, inst: "DynInst") -> int:
+        """Extra cycles to add to a load completion (0 = none)."""
+        if not self._armed(cycle) \
+                or self._rng.random() >= self.plan.fill_delay_rate:
+            return 0
+        delay = self._rng.randint(1, max(1, self.plan.fill_delay_max))
+        self._record(cycle, "fill_delay", inst.seq, inst.pc,
+                     f"+{delay} cycles")
+        return delay
+
+    def want_spurious_squash(self, cycle: int) -> bool:
+        """Whether to flush this cycle (victim chosen by the caller)."""
+        return self._armed(cycle) \
+            and self._rng.random() < self.plan.spurious_squash_rate
+
+    def choose_squash_point(
+        self, cycle: int, candidates: Sequence["DynInst"],
+    ) -> Optional["DynInst"]:
+        """Pick the youngest-kept instruction for a spurious squash and
+        log the event.  ``candidates`` must exclude entries whose next
+        PC is unknowable (the caller filters HALTs)."""
+        if not candidates:
+            return None
+        keep = self._rng.choice(list(candidates))
+        self._record(cycle, "spurious_squash", keep.seq, keep.pc,
+                     f"keep<= seq {keep.seq}")
+        return keep
+
+    def force_memdep_wait(self, cycle: int, inst: "DynInst") -> bool:
+        """Whether a load must replay instead of accessing the cache.
+
+        Bounded per load so injection can never livelock a run.
+        """
+        if not self._armed(cycle) \
+                or self._memdep_forced.get(inst.seq, 0) \
+                >= self.plan.memdep_wait_cap \
+                or self._rng.random() >= self.plan.memdep_wait_rate:
+            return False
+        self._memdep_forced[inst.seq] = \
+            self._memdep_forced.get(inst.seq, 0) + 1
+        self._record(cycle, "memdep_wait", inst.seq, inst.pc,
+                     f"replay {self._memdep_forced[inst.seq]}"
+                     f"/{self.plan.memdep_wait_cap}")
+        return True
+
+    def filter_disabled(self, cycle: int) -> bool:
+        """Whether the hazard filters are bypassed this cycle."""
+        if cycle < self._filter_disabled_until:
+            return True
+        if not self._armed(cycle) \
+                or self._rng.random() >= self.plan.filter_disable_rate:
+            return False
+        self._filter_disabled_until = cycle + max(
+            1, self.plan.filter_disable_window)
+        self._record(cycle, "filter_disable",
+                     detail=f"window {self.plan.filter_disable_window} "
+                            f"cycles")
+        return True
+
+    def drop_wakeup(self, cycle: int, inst: "DynInst") -> bool:
+        """Whether select skips this eligible instruction this cycle."""
+        if not self._armed(cycle) \
+                or self._wakeup_dropped.get(inst.seq, 0) \
+                >= self.plan.iq_wakeup_drop_cap \
+                or self._rng.random() >= self.plan.iq_wakeup_drop_rate:
+            return False
+        self._wakeup_dropped[inst.seq] = \
+            self._wakeup_dropped.get(inst.seq, 0) + 1
+        self._record(cycle, "iq_wakeup_drop", inst.seq, inst.pc)
+        return True
+
+    # ---- reporting -------------------------------------------------------
+
+    @property
+    def total_injected(self) -> int:
+        return len(self.events)
+
+    def summary(self) -> Dict[str, int]:
+        """Per-kind event counts (only kinds that fired)."""
+        return {kind: count for kind, count in self.counts.items()
+                if count}
+
+    def render_log(self, last: int = 20) -> str:
+        lines = [f"{self.total_injected} injected events "
+                 f"(seed {self.plan.seed})"]
+        for kind, count in sorted(self.summary().items()):
+            lines.append(f"  {kind}: {count}")
+        for event in self.events[-last:]:
+            lines.append(f"  {event.render()}")
+        return "\n".join(lines)

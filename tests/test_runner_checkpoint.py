@@ -1,0 +1,170 @@
+"""Crash-safe sweep engine: checkpointing, resume, retry and failure
+isolation — exercised with a fake run function so the tests are fast
+and failure timing is exact."""
+import json
+
+import pytest
+
+from repro.core.policy import ProtectionMode
+from repro.errors import SimulationError
+from repro.experiments.runner import SweepEngine, SweepRow
+from repro.pipeline.report import SimReport
+from repro.robustness.checkpoint import CheckpointError, CheckpointStore
+
+_MODES = (ProtectionMode.ORIGIN, ProtectionMode.BASELINE)
+
+
+def _fake_report(name, mode, cycles=1000):
+    return SimReport(name=name, mode=mode, cycles=cycles,
+                     committed=cycles // 2, halted=True,
+                     termination="halt")
+
+
+def _fake_run(name, security=None, **_kwargs):
+    return _fake_report(name, security.mode)
+
+
+class TestCheckpointStore:
+    def test_round_trip(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "ck.jsonl"))
+        store.reset({"scale": 0.5})
+        store.append("a/origin", {"status": "ok", "cycles": 7})
+        store.append("b/origin", {"status": "failed"})
+        header, rows = store.load()
+        assert header == {"scale": 0.5}
+        assert rows["a/origin"]["cycles"] == 7
+        assert rows["b/origin"]["status"] == "failed"
+
+    def test_last_record_wins(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "ck.jsonl"))
+        store.reset()
+        store.append("a/origin", {"status": "failed"})
+        store.append("a/origin", {"status": "ok"})
+        _header, rows = store.load()
+        assert rows["a/origin"]["status"] == "ok"
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        store = CheckpointStore(str(path))
+        store.reset()
+        store.append("a/origin", {"status": "ok"})
+        with open(path, "a") as handle:
+            handle.write('{"kind": "row", "key": "b/orig')  # crash here
+        _header, rows = store.load()
+        assert list(rows) == ["a/origin"]
+
+    def test_foreign_file_raises(self, tmp_path):
+        path = tmp_path / "notes.jsonl"
+        with open(path, "w") as handle:
+            handle.write(json.dumps({"kind": "header",
+                                     "format": "something-else"}) + "\n")
+        with pytest.raises(CheckpointError):
+            CheckpointStore(str(path)).load()
+
+
+class TestSweepEngine:
+    def _engine(self, tmp_path, run_fn=_fake_run, **kwargs):
+        kwargs.setdefault("benchmarks", ["alpha", "beta"])
+        kwargs.setdefault("modes", _MODES)
+        kwargs.setdefault("checkpoint", str(tmp_path / "sweep.jsonl"))
+        kwargs.setdefault("backoff", 0.0)
+        return SweepEngine(run_fn=run_fn, **kwargs)
+
+    def test_full_sweep_records_every_pair(self, tmp_path):
+        result = self._engine(tmp_path).run()
+        assert len(result.rows) == 4
+        assert not result.failures
+        report = result.report_for("alpha", ProtectionMode.ORIGIN)
+        assert report is not None and report.cycles == 1000
+
+    def test_killed_sweep_resumes_without_rerunning(self, tmp_path):
+        calls = []
+
+        def crashing(name, security=None, **kwargs):
+            if len(calls) == 2:
+                raise KeyboardInterrupt  # simulated Ctrl-C / kill
+            calls.append((name, security.mode.value))
+            return _fake_report(name, security.mode)
+
+        engine = self._engine(tmp_path, run_fn=crashing)
+        with pytest.raises(KeyboardInterrupt):
+            engine.run()
+        assert len(calls) == 2  # two pairs completed before the crash
+
+        resumed_calls = []
+
+        def counting(name, security=None, **kwargs):
+            resumed_calls.append((name, security.mode.value))
+            return _fake_report(name, security.mode)
+
+        engine2 = self._engine(tmp_path, run_fn=counting, resume=True)
+        result = engine2.run()
+        assert len(result.rows) == 4
+        assert result.resumed == 2
+        # Only the two pairs lost to the crash re-ran.
+        assert sorted(resumed_calls) == sorted(
+            set((b, m.value) for b in ("alpha", "beta") for m in _MODES)
+            - set(calls)
+        )
+
+    def test_failure_is_isolated_to_its_row(self, tmp_path):
+        def flaky(name, security=None, **kwargs):
+            if name == "alpha":
+                raise SimulationError("boom")
+            return _fake_report(name, security.mode)
+
+        result = self._engine(tmp_path, run_fn=flaky, retries=0).run()
+        assert len(result.rows) == 4
+        failed = [row for row in result.rows if not row.ok]
+        assert {row.benchmark for row in failed} == {"alpha"}
+        for row in failed:
+            assert row.error_type == "SimulationError"
+            assert row.error == "boom"
+        # beta still succeeded
+        assert result.report_for("beta", ProtectionMode.ORIGIN) is not None
+
+    def test_transient_failure_retries_then_succeeds(self, tmp_path):
+        attempts = {}
+
+        def transient(name, security=None, **kwargs):
+            key = (name, security.mode)
+            attempts[key] = attempts.get(key, 0) + 1
+            if attempts[key] == 1:
+                raise SimulationError("transient")
+            return _fake_report(name, security.mode)
+
+        result = self._engine(tmp_path, run_fn=transient, retries=2).run()
+        assert not result.failures
+        assert all(row.attempts == 2 for row in result.rows)
+
+    def test_resume_row_round_trips_the_report(self, tmp_path):
+        engine = self._engine(tmp_path)
+        engine.run()
+        result = self._engine(tmp_path, resume=True).run()
+        row = result.row("alpha", ProtectionMode.BASELINE)
+        assert row.resumed
+        assert row.report is not None
+        assert row.report.mode is ProtectionMode.BASELINE
+        assert row.report.termination == "halt"
+
+    def test_sweep_row_record_round_trip(self):
+        row = SweepRow(benchmark="x", mode=ProtectionMode.ORIGIN,
+                       status="ok", termination="halt", cycles=5,
+                       committed=2, attempts=1, duration_s=0.5,
+                       report=_fake_report("x", ProtectionMode.ORIGIN))
+        back = SweepRow.from_record(row.to_record())
+        assert back.benchmark == "x" and back.mode is ProtectionMode.ORIGIN
+        assert back.resumed and back.report.cycles == 1000
+
+    def test_real_single_pair_sweep(self, tmp_path):
+        """One genuine (benchmark, mode) simulation through the engine,
+        so the default run path stays covered."""
+        from repro.params import tiny_config
+
+        engine = SweepEngine(benchmarks=["hmmer"],
+                             modes=[ProtectionMode.ORIGIN],
+                             machine=tiny_config(), scale=0.05,
+                             checkpoint=str(tmp_path / "real.jsonl"))
+        result = engine.run()
+        assert not result.failures
+        assert result.rows[0].termination == "halt"

@@ -1,0 +1,98 @@
+"""The forward-progress watchdog must tell a wedged pipeline from a
+merely slow one, and say *why* it wedged."""
+import pytest
+
+from repro import Processor, SecurityConfig, tiny_config
+from repro.errors import CycleBudgetExceeded, DeadlockError
+from repro.isa import ProgramBuilder
+from repro.robustness import FaultInjector, FaultPlan
+from repro.robustness.watchdog import ForwardProgressWatchdog
+
+
+class _NeverFillingInjector(FaultInjector):
+    """Delays every load completion past the horizon: the load issues,
+    its fill event lands ~10^9 cycles away, and the ROB head never
+    completes — a genuine wedge, not a slow run."""
+
+    def extra_fill_delay(self, cycle, inst):
+        self._record(cycle, "fill_delay", inst.seq, inst.pc,
+                     "never completes")
+        return 1_000_000_000
+
+
+def _load_program():
+    b = ProgramBuilder()
+    b.data_word(0x4000, 9)
+    b.li(1, 0x4000).load(2, 1).add(3, 2, 2).halt()
+    return b.build()
+
+
+def _counting_program():
+    b = ProgramBuilder()
+    b.li(1, 0)
+    b.label("loop")
+    b.addi(1, 1, 1)
+    b.jmp("loop")
+    return b.build()
+
+
+class TestDeadlockDetection:
+    def test_wedged_pipeline_raises_with_diagnostics(self):
+        cpu = Processor(
+            _load_program(), machine=tiny_config(),
+            security=SecurityConfig.origin(),
+            fault_plan=_NeverFillingInjector(FaultPlan(seed=0)),
+            watchdog_cycles=2_000,
+        )
+        with pytest.raises(DeadlockError) as excinfo:
+            cpu.run(max_cycles=100_000)
+        diag = excinfo.value.diagnostics
+        assert diag is not None
+        assert diag.stall_cycles > 2_000
+        assert diag.rob_occupancy > 0
+        assert diag.head_seq >= 0 and diag.head_pc >= 0
+        assert diag.head_state  # the stuck load
+        assert "pending" in diag.stall_reason \
+            or "never finishing" in diag.stall_reason
+        assert diag.snapshots, "occupancy history must be captured"
+        assert "occupancy:" in diag.render()
+        assert cpu.report.termination == "deadlock"
+
+    def test_healthy_run_never_trips(self):
+        cpu = Processor(_load_program(), machine=tiny_config(),
+                        security=SecurityConfig.cache_hit_tpbuf(),
+                        watchdog_cycles=2_000)
+        report = cpu.run()
+        assert report.halted and report.termination == "halt"
+
+    def test_watchdog_snapshot_ring_is_bounded(self):
+        dog = ForwardProgressWatchdog(limit=100, snapshot_interval=1,
+                                      history=4)
+        cpu = Processor(_load_program(), machine=tiny_config(),
+                        security=SecurityConfig.origin())
+        for _ in range(10):
+            dog.snapshot(cpu)
+        assert len(dog.snapshots) == 4
+
+
+class TestCycleBudget:
+    def test_budget_returns_report_by_default(self):
+        cpu = Processor(_counting_program(), machine=tiny_config(),
+                        security=SecurityConfig.origin())
+        report = cpu.run(max_cycles=3_000)
+        assert not report.halted
+        assert report.termination == "cycle_budget"
+
+    def test_budget_raises_when_asked(self):
+        cpu = Processor(_counting_program(), machine=tiny_config(),
+                        security=SecurityConfig.origin())
+        with pytest.raises(CycleBudgetExceeded) as excinfo:
+            cpu.run(max_cycles=3_000, raise_on_budget=True)
+        report = excinfo.value.report
+        assert report is not None
+        assert report.termination == "cycle_budget"
+        assert report.committed > 0
+
+    def test_budget_error_is_not_deadlock(self):
+        assert not issubclass(CycleBudgetExceeded, DeadlockError)
+        assert not issubclass(DeadlockError, CycleBudgetExceeded)
