@@ -7,26 +7,57 @@ oracle for "which loads are unsafe to speculate":
 
 - :mod:`cfg` — basic-block control-flow graph construction;
 - :mod:`dataflow` — a small generic forward dataflow engine
-  (worklist, meet-over-paths) over register lattices;
+  (worklist, meet-over-paths, optional widening) over register
+  lattices;
 - :mod:`taint` — speculative-taint analysis that flags the static
   S-Pattern (a speculative load feeding a second memory access) and
   computes the static suspect set;
+- :mod:`valueset` — strided-interval value-set abstract interpretation
+  used to *refute* findings whose speculative loads are provably
+  in-bounds (the precision layer);
+- :mod:`fencesynth` — greedy synthesize-and-verify minimal fence
+  placement that repairs the surviving findings (the repair layer);
 - :mod:`report` — structured findings and rendering;
 - :mod:`verify` — cross-validation against the dynamic security
-  matrix: every dynamically-recorded security dependence must be
-  covered by a static finding (static over-approximates dynamic);
-- :mod:`corpus` — minimal single-gadget driver programs used by the
-  gadget scanner and the cross-validation tests.
+  matrix (every dynamically-recorded security dependence must be
+  covered by a static finding) plus corpus precision metrics;
+- :mod:`corpus` — minimal single-gadget driver programs (unsafe /
+  fenced / masked variants) used by the gadget scanner, the
+  cross-validation tests and the precision metrics.
 """
 from .cfg import BasicBlock, ControlFlowGraph, build_cfg
 from .dataflow import DataflowResult, ForwardDataflow, Lattice
-from .report import AnalysisReport, Finding, GadgetKind
+from .fencesynth import (
+    FenceSynthesis,
+    fence_all,
+    oracle_equivalent,
+    synthesize_fences,
+    uses_rdcycle,
+)
+from .report import SCHEMA_VERSION, AnalysisReport, Finding, GadgetKind
 from .taint import (
     DEFAULT_WINDOW,
     analyze_program,
     static_suspect_pcs,
 )
-from .verify import CrossValidation, cross_validate, record_dynamic_suspects
+from .valueset import (
+    RefinedReport,
+    RefutedFinding,
+    Refutation,
+    ValueSet,
+    ValueSetLattice,
+    ValueSetState,
+    compute_value_sets,
+    refine_report,
+)
+from .verify import (
+    CorpusPrecision,
+    CrossValidation,
+    PrecisionCase,
+    corpus_precision,
+    cross_validate,
+    record_dynamic_suspects,
+)
 
 __all__ = [
     "BasicBlock",
@@ -38,10 +69,27 @@ __all__ = [
     "GadgetKind",
     "Finding",
     "AnalysisReport",
+    "SCHEMA_VERSION",
     "DEFAULT_WINDOW",
     "analyze_program",
     "static_suspect_pcs",
+    "ValueSet",
+    "ValueSetState",
+    "ValueSetLattice",
+    "compute_value_sets",
+    "Refutation",
+    "RefutedFinding",
+    "RefinedReport",
+    "refine_report",
+    "FenceSynthesis",
+    "synthesize_fences",
+    "fence_all",
+    "oracle_equivalent",
+    "uses_rdcycle",
     "CrossValidation",
     "cross_validate",
     "record_dynamic_suspects",
+    "PrecisionCase",
+    "CorpusPrecision",
+    "corpus_precision",
 ]

@@ -3,19 +3,27 @@
 Each driver wraps one of the shared gadget emitters from
 :mod:`repro.attacks.gadgets` in the smallest runnable program: no
 training loops, no side-channel receiver — just the speculation source
-and the S-Pattern (or its fence-mitigated variant).  They serve two
-masters:
+and the S-Pattern (or a mitigated variant).  Every gadget comes in
+three flavours:
 
-- ``tools/scan_gadgets.py`` asserts the static analyzer flags every
-  unfenced driver and passes every fenced one;
-- the cross-validation tests run the same programs through the
-  simulator and check static coverage of the dynamic suspect set.
+- ``unsafe`` — the plain gadget; must be flagged *and* survive
+  value-set refinement (it can really read a secret);
+- ``fenced`` — serializing-FENCE mitigation; must analyze clean;
+- ``masked`` — index-masking mitigation; still an S-Pattern to the
+  taint pass (the precision cost of PR 1's over-approximation) but
+  provably in-bounds, so value-set refinement must refute it.
+
+They serve three masters: ``tools/scan_gadgets.py`` asserts the
+flag/clean split, the cross-validation tests check static coverage of
+the dynamic suspect set, and :func:`repro.analysis.verify.corpus_precision`
+measures the false-positive rate before/after refinement.
 """
 from __future__ import annotations
 
 from typing import Callable, Dict, Tuple
 
 from ..attacks.gadgets import (
+    MASKED_WORDS,
     R_ARG_PROBE,
     R_ARG_PTR,
     R_RET,
@@ -31,25 +39,47 @@ from ..isa.program import Program
 
 GADGET_KINDS: Tuple[str, ...] = ("v1", "v2", "v4", "rsb")
 
+#: Mitigation flavours every corpus gadget is built in.
+CORPUS_VARIANTS: Tuple[str, ...] = ("unsafe", "fenced", "masked")
+
+
+def corpus_secret_words() -> Tuple[int, ...]:
+    """Word addresses holding secrets in every corpus driver (the
+    shared :class:`AttackLayout` secret) — passed to the value-set
+    refinement so constant-address secret reads are never refuted."""
+    return (AttackLayout().secret_addr,)
+
 
 def _make_builder(layout: AttackLayout) -> ProgramBuilder:
     builder = ProgramBuilder(base_address=layout.code_base)
     for address, value in sorted(layout.initial_data().items()):
         builder.data_word(address, value)
+    # Give array1 a full masked-access window of initialized words so
+    # the region the masked variants stay inside actually exists.
+    for index in range(MASKED_WORDS):
+        address = layout.array1_base + index * 8
+        if address not in layout.initial_data():
+            builder.data_word(address, 0)
     return builder
 
 
-def build_v1_gadget(fenced: bool = False) -> Program:
-    """Bounds-check bypass: one in-bounds call of the V1 victim."""
+def build_v1_gadget(fenced: bool = False, masked: bool = False) -> Program:
+    """Bounds-check bypass: one in-bounds call of the V1 victim.  The
+    input ``x`` is loaded from memory (like the real attack's input
+    array), so its value is statically unknown — the unsafe variant
+    cannot be refuted as in-bounds."""
     layout = AttackLayout()
     builder = _make_builder(layout)
-    builder.li(R_X, 0)
-    emit_bounds_check_gadget(builder, layout, "demo", fenced=fenced)
+    builder.li(9, layout.input_addr(0))
+    builder.load(R_X, 9, note="prewarm input line")
+    builder.load(R_X, 9, note="victim input x (fast hit)")
+    emit_bounds_check_gadget(builder, layout, "demo",
+                             fenced=fenced, masked=masked)
     builder.halt()
     return builder.build()
 
 
-def build_v2_gadget(fenced: bool = False) -> Program:
+def build_v2_gadget(fenced: bool = False, masked: bool = False) -> Program:
     """Branch-target injection: an indirect jump plus a gadget body
     that is only reachable speculatively (it sits after HALT)."""
     layout = AttackLayout()
@@ -61,35 +91,44 @@ def build_v2_gadget(fenced: bool = False) -> Program:
     builder.jmpi(20)
     builder.label("v2_done")
     builder.halt()
-    emit_indirect_gadget_body(builder, layout, "demo", fenced=fenced)
+    emit_indirect_gadget_body(builder, layout, "demo",
+                              fenced=fenced, masked=masked)
     return builder.build()
 
 
-def build_v4_gadget(fenced: bool = False) -> Program:
+def build_v4_gadget(fenced: bool = False, masked: bool = False) -> Program:
     """Speculative store bypass: sanitizing store with a delinquent
     address followed by the stale-secret load and transmit."""
     layout = AttackLayout()
     builder = _make_builder(layout)
     builder.data_word(layout.fnptr_addr, layout.secret_addr)
     emit_store_bypass_gadget(builder, layout, "demo", layout.fnptr_addr,
-                             fenced=fenced)
+                             fenced=fenced, masked=masked)
     builder.halt()
     return builder.build()
 
 
-def build_rsb_gadget(fenced: bool = False) -> Program:
+def build_rsb_gadget(fenced: bool = False, masked: bool = False) -> Program:
     """ret2spec: the victim function rewrites its return target, so the
     RAS-predicted return speculatively executes the gadget planted
     after the call site."""
     layout = AttackLayout()
     builder = _make_builder(layout)
-    builder.li(12, layout.secret_addr)
+    builder.li(12, layout.input_addr(0) if masked else layout.secret_addr)
     builder.call("rsb_victim_demo")
     # ---- return-site gadget: executes only under the stale RAS
     # prediction, before the RET resolves to the benign exit.
     if fenced:
         builder.fence()
-    builder.load(13, 12, note="secret read via stale return prediction")
+    if masked:
+        builder.load(13, 12, note="public input read")
+        builder.andi(13, 13, MASKED_WORDS - 1)
+        builder.shli(13, 13, 3)
+        builder.li(11, layout.array1_base)
+        builder.add(13, 11, 13)
+        builder.load(13, 13, note="masked in-bounds read")
+    else:
+        builder.load(13, 12, note="secret read via stale return prediction")
     emit_transmit(builder, layout, 13)
     builder.jmp("rsb_done")
     builder.label("rsb_victim_demo")
@@ -100,7 +139,7 @@ def build_rsb_gadget(fenced: bool = False) -> Program:
     return builder.build()
 
 
-GADGET_BUILDERS: Dict[str, Callable[[bool], Program]] = {
+GADGET_BUILDERS: Dict[str, Callable[..., Program]] = {
     "v1": build_v1_gadget,
     "v2": build_v2_gadget,
     "v4": build_v4_gadget,
@@ -108,6 +147,18 @@ GADGET_BUILDERS: Dict[str, Callable[[bool], Program]] = {
 }
 
 
-def build_gadget_program(kind: str, fenced: bool = False) -> Program:
+def build_gadget_program(kind: str, fenced: bool = False,
+                         masked: bool = False) -> Program:
     """Driver program for ``kind`` (one of :data:`GADGET_KINDS`)."""
-    return GADGET_BUILDERS[kind](fenced)
+    return GADGET_BUILDERS[kind](fenced=fenced, masked=masked)
+
+
+def build_corpus_variant(kind: str, variant: str) -> Program:
+    """Driver for ``kind`` in one of :data:`CORPUS_VARIANTS`."""
+    if variant not in CORPUS_VARIANTS:
+        raise ValueError(f"unknown corpus variant {variant!r}")
+    return build_gadget_program(
+        kind,
+        fenced=(variant == "fenced"),
+        masked=(variant == "masked"),
+    )

@@ -14,6 +14,14 @@ short-circuits joins with it.  Termination requires the usual lattice
 conditions: ``join`` is monotone and the chain height is finite (both
 taint sets over a program's load PCs and bounded window counters
 satisfy this).
+
+Lattices with *infinite* (or impractically tall) ascending chains —
+intervals are the canonical example — additionally provide
+:meth:`Lattice.widen`.  The engine counts how many times each block's
+entry state has grown; once a block exceeds ``widen_after`` updates
+(it is on a cycle that keeps producing new values) further joins go
+through the widening operator, which must jump far enough up the
+lattice to stabilize in finitely many steps.
 """
 from __future__ import annotations
 
@@ -42,6 +50,14 @@ class Lattice(ABC, Generic[S]):
                  instruction: Instruction) -> Optional[S]:
         """Abstract effect of one instruction; ``None`` kills the path."""
 
+    def widen(self, old: S, new: S) -> S:
+        """Widening operator: an upper bound of ``old`` and ``new``
+        that guarantees stabilization on cycles.  ``new`` is already an
+        upper bound of ``old`` (the engine joins before widening).
+        Finite-height lattices can keep this default (plain join);
+        infinite-chain lattices (intervals) must over-shoot."""
+        return self.join(old, new)
+
 
 class DataflowResult(Generic[S]):
     """Fixpoint states: per block entry and per instruction."""
@@ -63,10 +79,14 @@ class ForwardDataflow(Generic[S]):
     """Worklist-driven forward analysis over a CFG."""
 
     def __init__(self, cfg: ControlFlowGraph, lattice: Lattice[S],
-                 indirect_to_all: bool = True) -> None:
+                 indirect_to_all: bool = True,
+                 widen_after: int = 8) -> None:
         self.cfg = cfg
         self.lattice = lattice
         self.indirect_to_all = indirect_to_all
+        #: Number of in-state growths a block tolerates before joins
+        #: switch to the lattice's widening operator.
+        self.widen_after = widen_after
 
     def _join_opt(self, a: Optional[S], b: Optional[S]) -> Optional[S]:
         if a is None:
@@ -96,6 +116,7 @@ class ForwardDataflow(Generic[S]):
         # blocks (e.g. gadget bodies placed after HALT) are processed.
         worklist: List[int] = [block.index for block in self.cfg]
         queued = set(worklist)
+        growths: Dict[int, int] = {}
         while worklist:
             index = worklist.pop(0)
             queued.discard(index)
@@ -107,8 +128,14 @@ class ForwardDataflow(Generic[S]):
                 state = lattice.transfer(state, addr, instr)
             for succ in self.cfg.successor_blocks(block,
                                                   self.indirect_to_all):
-                merged = self._join_opt(block_in[succ.index], state)
-                if not self._eq_opt(merged, block_in[succ.index]):
+                current = block_in[succ.index]
+                merged = self._join_opt(current, state)
+                if not self._eq_opt(merged, current):
+                    growths[succ.index] = growths.get(succ.index, 0) + 1
+                    if (growths[succ.index] > self.widen_after
+                            and current is not None
+                            and merged is not None):
+                        merged = lattice.widen(current, merged)
                     block_in[succ.index] = merged
                     if succ.index not in queued:
                         worklist.append(succ.index)

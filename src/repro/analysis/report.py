@@ -5,6 +5,13 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Tuple
 
+#: Version of the JSON document emitted by ``repro analyze --json``.
+#: Bump whenever a field is added, removed or reinterpreted so
+#: downstream tooling can detect format drift (guarded by a golden-file
+#: test).  History: 1 = PR 1 initial format; 2 = added
+#: ``schema_version`` itself and the optional ``refinement`` block.
+SCHEMA_VERSION = 2
+
 
 class GadgetKind(Enum):
     """Which Spectre family a finding's speculation source belongs to.
@@ -106,9 +113,10 @@ class AnalysisReport:
             lines.append(finding.render())
         return "\n".join(lines)
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> Dict[str, object]:
         """JSON-friendly form (CLI ``--json``)."""
         return {
+            "schema_version": SCHEMA_VERSION,
             "name": self.name,
             "window": self.window,
             "instructions": self.instructions,

@@ -50,8 +50,18 @@ def emit_transmit(builder: ProgramBuilder, layout: AttackLayout,
     builder.load(9, 15, note="transmit")
 
 
+#: Index mask used by the ``masked`` gadget variants: keeps a
+#: speculative index inside MASKED_WORDS words of its array no matter
+#: what speculation supplies, the software mitigation the value-set
+#: refinement must recognize as provably in-bounds.
+MASKED_WORDS = 8
+INDEX_MASK = MASKED_WORDS - 1
+OFFSET_MASK = (MASKED_WORDS - 1) * 8
+
+
 def emit_bounds_check_gadget(builder: ProgramBuilder, layout: AttackLayout,
-                             tag: str, fenced: bool = False) -> None:
+                             tag: str, fenced: bool = False,
+                             masked: bool = False) -> None:
     """The Spectre V1 victim (Listing 2 of the paper)::
 
         if (x < array1_size)              // bounds check, slow operand
@@ -59,6 +69,10 @@ def emit_bounds_check_gadget(builder: ProgramBuilder, layout: AttackLayout,
 
     With ``fenced`` a serializing FENCE follows the bounds check — the
     software mitigation the static analyzer must recognize as safe.
+    With ``masked`` the index is AND-masked before use (speculative
+    load provably confined to array1's first :data:`MASKED_WORDS`
+    words) — the taint pass still flags the S-Pattern, but the
+    value-set refinement proves it harmless.
     """
     skip = f"v1_skip_{tag}"
     builder.li(9, layout.size_addr)
@@ -66,25 +80,40 @@ def emit_bounds_check_gadget(builder: ProgramBuilder, layout: AttackLayout,
     builder.bge(R_X, 10, skip)
     if fenced:
         builder.fence()
-    builder.shli(11, R_X, 3)
+    if masked:
+        builder.andi(11, R_X, INDEX_MASK)
+        builder.shli(11, 11, 3)
+    else:
+        builder.shli(11, R_X, 3)
     builder.li(12, layout.array1_base)
     builder.add(12, 12, 11)
-    builder.load(13, 12, note="array1[x] (unsafe when oob)")
+    builder.load(13, 12,
+                 note=("array1[x & mask] (provably in-bounds)" if masked
+                       else "array1[x] (unsafe when oob)"))
     emit_transmit(builder, layout, 13)
     builder.label(skip)
 
 
 def emit_indirect_gadget_body(builder: ProgramBuilder, layout: AttackLayout,
-                              tag: str, fenced: bool = False) -> None:
+                              tag: str, fenced: bool = False,
+                              masked: bool = False) -> None:
     """The Spectre V2 gadget: dereference the pointer argument and
     transmit, then return through r19.  The victim never reaches this
     code architecturally; the attacker steers speculation here by
     poisoning the BTB.  With ``fenced`` the body opens with a FENCE, so
-    speculation steered into it stalls before the secret read."""
+    speculation steered into it stalls before the secret read.  With
+    ``masked`` the body only dereferences an AND-masked offset into
+    array1, so even a poisoned BTB cannot make it read a secret."""
     builder.label(f"v2_gadget_{tag}")
     if fenced:
         builder.fence()
-    builder.load(13, R_ARG_PTR, note="attacker-pointed secret read")
+    if masked:
+        builder.andi(13, R_ARG_PTR, OFFSET_MASK)
+        builder.li(11, layout.array1_base)
+        builder.add(13, 11, 13)
+        builder.load(13, 13, note="masked in-bounds read")
+    else:
+        builder.load(13, R_ARG_PTR, note="attacker-pointed secret read")
     emit_scaled_offset(builder, 15, 13, 11, layout.probe_stride)
     builder.add(15, R_ARG_PROBE, 15)
     builder.load(9, 15, note="transmit")
@@ -93,7 +122,8 @@ def emit_indirect_gadget_body(builder: ProgramBuilder, layout: AttackLayout,
 
 def emit_store_bypass_gadget(builder: ProgramBuilder, layout: AttackLayout,
                              tag: str, ptr_addr: int,
-                             fenced: bool = False) -> None:
+                             fenced: bool = False,
+                             masked: bool = False) -> None:
     """The Spectre V4 victim (Listing 1 of the paper)::
 
         *p = 0;            // sanitizing store, address p is delinquent
@@ -102,8 +132,20 @@ def emit_store_bypass_gadget(builder: ProgramBuilder, layout: AttackLayout,
     ``ptr_addr`` holds the (flushed) pointer ``p`` which equals the
     secret's address X, so the speculative load reads the stale secret
     before the sanitizing store lands.  With ``fenced`` a FENCE follows
-    the sanitizing store, forbidding the bypass.
+    the sanitizing store, forbidding the bypass.  With ``masked`` the
+    store goes to a *constant* slot provably disjoint from the benign
+    constant-address load that follows — the taint pass still flags
+    the store-bypass S-Pattern, but a no-alias proof refutes it.
     """
+    if masked:
+        builder.li(9, layout.results_base)
+        builder.store(0, 9, note="sanitizing store, constant address")
+        if fenced:
+            builder.fence()
+        builder.li(12, layout.array1_base)
+        builder.load(13, 12, note="benign reload (cannot alias the store)")
+        emit_transmit(builder, layout, 13)
+        return
     builder.li(9, ptr_addr)
     builder.load(10, 9, note="pointer p (delinquent)")
     builder.store(0, 10, note="sanitizing store, unknown address")

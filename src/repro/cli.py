@@ -3,11 +3,17 @@
 Commands:
 
 - ``run``      - assemble and simulate a program file.
-- ``analyze``  - statically scan a program for Spectre gadgets.
+- ``analyze``  - statically scan a program for Spectre gadgets;
+  ``--refine`` applies value-set refutation, ``--fix`` synthesizes a
+  minimal fence placement and verifies it.  Programs are either
+  assembly files or ``corpus:<kind>[:<variant>]`` specs naming a
+  built-in gadget driver (e.g. ``corpus:v1:masked``).
 - ``attack``   - run a Spectre PoC under a protection mode.
 - ``bench``    - simulate a SPEC profile under one or all modes.
 - ``sweep``    - checkpointed benchmark x mode sweep with ``--resume``
   and optional fault injection (``--inject``).
+- ``fence``    - fence overhead study: unsafe vs fence-all vs
+  synthesized fences vs the hardware filters.
 - ``figure5`` / ``table4`` / ``table5`` / ``table6`` / ``lru`` /
   ``area``   - regenerate a paper artifact.
 """
@@ -116,18 +122,87 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if report.halted else 1
 
 
-def _cmd_analyze(args: argparse.Namespace) -> int:
-    from .analysis import DEFAULT_WINDOW, analyze_program, cross_validate
+def _load_analysis_program(spec: str):
+    """Resolve a program argument: an assembly file path, or
+    ``corpus:<kind>[:<variant>]`` naming a built-in gadget driver.
+    Returns ``(program, default_secret_words)``."""
+    if spec.startswith("corpus:"):
+        from .analysis.corpus import (
+            CORPUS_VARIANTS,
+            GADGET_KINDS,
+            build_corpus_variant,
+            corpus_secret_words,
+        )
 
-    with open(args.program) as handle:
-        program = assemble(handle.read())
+        parts = spec.split(":")
+        kind = parts[1] if len(parts) > 1 else ""
+        variant = parts[2] if len(parts) > 2 else "unsafe"
+        if kind not in GADGET_KINDS or variant not in CORPUS_VARIANTS \
+                or len(parts) > 3:
+            raise ValueError(
+                f"bad corpus spec {spec!r}: expected "
+                f"corpus:{{{','.join(GADGET_KINDS)}}}"
+                f"[:{{{','.join(CORPUS_VARIANTS)}}}]"
+            )
+        return build_corpus_variant(kind, variant), corpus_secret_words()
+    with open(spec) as handle:
+        return assemble(handle.read()), ()
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis import (
+        DEFAULT_WINDOW,
+        analyze_program,
+        cross_validate,
+        oracle_equivalent,
+        refine_report,
+        synthesize_fences,
+        uses_rdcycle,
+    )
+
+    try:
+        program, default_secrets = _load_analysis_program(args.program)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    secrets = tuple(int(word, 0) for word in args.secret) \
+        if args.secret else tuple(default_secrets)
     window = args.window if args.window is not None else DEFAULT_WINDOW
     report = analyze_program(program, window=window, name=args.program)
     print(report.render())
+    refined = None
+    if args.refine or args.fix:
+        refined = refine_report(program, report, secret_words=secrets)
+        print()
+        print(refined.render())
+    synthesis = None
+    if args.fix:
+        synthesis = synthesize_fences(
+            program, window=window, secret_words=secrets,
+            name=args.program,
+        )
+        print()
+        print(synthesis.render())
+        if uses_rdcycle(program):
+            print("  oracle equivalence: skipped (program uses RDCYCLE)")
+        else:
+            matches = oracle_equivalent(program, synthesis.rewrite)
+            print(f"  oracle equivalence: "
+                  f"{'OK' if matches else 'MISMATCH'}")
+            if not matches:
+                return 1
+        if not synthesis.clean:
+            return 1
     if args.json:
         import json
+
+        document = report.to_dict()
+        if refined is not None:
+            document["refinement"] = refined.to_dict()
+        if synthesis is not None:
+            document["fence_synthesis"] = synthesis.to_dict()
         with open(args.json, "w") as handle:
-            json.dump(report.to_dict(), handle, indent=2)
+            json.dump(document, handle, indent=2)
         print(f"wrote {args.json}")
     if args.verify:
         validation = cross_validate(
@@ -138,8 +213,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(validation.render())
         if not validation.covered:
             return 1
-    if args.fail_on_findings and not report.clean:
-        return 1
+    if args.fail_on_findings:
+        surviving = refined.confirmed if refined is not None \
+            else report.findings
+        if surviving:
+            return 1
     return 0
 
 
@@ -201,6 +279,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     print(result.render())
     return 0 if not result.failures else 1
+
+
+def _cmd_fence(args: argparse.Namespace) -> int:
+    from .experiments import run_fence_study
+
+    result = run_fence_study(
+        machine=_machine(args),
+        benchmarks=args.benchmarks or None,
+        scale=args.scale,
+        window=args.window,
+        max_cycles=args.max_cycles,
+    )
+    print(result.render())
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0
 
 
 def _cmd_figure5(args: argparse.Namespace) -> int:
@@ -278,19 +376,37 @@ def build_parser() -> argparse.ArgumentParser:
         "analyze",
         help="statically scan a program for Spectre gadgets",
     )
-    p_analyze.add_argument("program", help="assembly source file")
+    p_analyze.add_argument("program",
+                           help="assembly source file, or "
+                                "corpus:<kind>[:<variant>] for a "
+                                "built-in gadget driver")
     p_analyze.add_argument("--window", type=int, default=None,
                            help="speculation window in instructions "
                                 "(default: analysis default, ~ROB size)")
     p_analyze.add_argument("--json", default=None,
                            help="also write the findings as JSON")
+    p_analyze.add_argument("--refine", action="store_true",
+                           help="apply value-set refinement: refute "
+                                "findings whose speculative loads are "
+                                "provably in-bounds")
+    p_analyze.add_argument("--fix", action="store_true",
+                           help="synthesize a minimal fence placement "
+                                "for the confirmed findings and verify "
+                                "it (implies --refine)")
+    p_analyze.add_argument("--secret", action="append", default=None,
+                           metavar="ADDR",
+                           help="word address holding a secret (may "
+                                "repeat; accepts 0x...; corpus "
+                                "programs default to their layout's "
+                                "secret)")
     p_analyze.add_argument("--verify", action="store_true",
                            help="simulate the program and cross-check "
                                 "static coverage of the dynamic "
                                 "security dependences")
     p_analyze.add_argument("--fail-on-findings", action="store_true",
-                           help="exit non-zero when gadgets are found "
-                                "(lint mode)")
+                           help="exit non-zero when gadgets survive "
+                                "(confirmed findings under --refine; "
+                                "lint mode)")
     p_analyze.add_argument("--max-cycles", type=int, default=2_000_000)
     _add_machine_arg(p_analyze)
     _add_mode_arg(p_analyze)
@@ -306,6 +422,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_machine_arg(p_attack)
     _add_mode_arg(p_attack)
     p_attack.set_defaults(func=_cmd_attack)
+
+    p_fence = sub.add_parser(
+        "fence",
+        help="fence overhead study: unsafe vs fence-all vs synthesized "
+             "fences vs the hardware filters",
+    )
+    p_fence.add_argument("benchmarks", nargs="*",
+                         help="SPEC-like benchmark subset (default: all; "
+                              "the gadget corpus is always included)")
+    p_fence.add_argument("--scale", type=float, default=0.3,
+                         help="SPEC workload scale (default 0.3)")
+    p_fence.add_argument("--window", type=int, default=None,
+                         help="speculation window (default: ROB size)")
+    p_fence.add_argument("--max-cycles", type=int, default=2_000_000)
+    p_fence.add_argument("--json", default=None,
+                         help="also write the study table as JSON")
+    _add_machine_arg(p_fence)
+    p_fence.set_defaults(func=_cmd_fence)
 
     p_bench = sub.add_parser("bench", help="simulate one SPEC profile")
     p_bench.add_argument("benchmark")

@@ -12,6 +12,12 @@ from .runner import (
     run_modes,
     suite_overheads,
 )
+from .fence_study import (
+    FENCE_STUDY_MODES,
+    FenceStudyResult,
+    FenceStudyRow,
+    run_fence_study,
+)
 from .figure5 import Figure5Result, run_figure5
 from .table4 import Table4Result, run_table4, SCENARIOS
 from .table5 import Table5Result, run_table5
@@ -32,6 +38,10 @@ __all__ = [
     "run_benchmark",
     "run_modes",
     "suite_overheads",
+    "FENCE_STUDY_MODES",
+    "FenceStudyRow",
+    "FenceStudyResult",
+    "run_fence_study",
     "Figure5Result",
     "run_figure5",
     "Table4Result",

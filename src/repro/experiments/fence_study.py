@@ -1,0 +1,223 @@
+"""Fence overhead study: software repair vs hardware filtering.
+
+The paper's economic argument (§IV–V) is that blanket serialization is
+ruinously expensive while filtered hardware defenses are nearly free.
+This study reproduces the trade-off end to end in software: for every
+program we compare
+
+- ``unsafe``    — the unprotected out-of-order baseline (denominator);
+- ``fence-all`` — a FENCE before every memory instruction (the
+  lfence-everywhere upper bound), run unprotected;
+- ``synthesized`` — the minimal fence placement from
+  :func:`repro.analysis.fencesynth.synthesize_fences` (value-set
+  refinement enabled, so provably-in-bounds chains cost nothing),
+  run unprotected;
+- ``cache-hit``  — the paper's Cache-hit filter (hardware);
+- ``tpbuf``      — Cache-hit filter + TPBuf (hardware).
+
+The expected ordering on the SPEC-like workloads — fence-all
+overhead > synthesized overhead > hardware-filter overhead — is the
+acceptance criterion, and the study also reports the static
+false-positive rate before/after value-set refinement on the gadget
+corpus (the precision that makes the synthesized placement small).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..analysis.corpus import (
+    GADGET_KINDS,
+    build_corpus_variant,
+    corpus_secret_words,
+)
+from ..analysis.fencesynth import FenceSynthesis, fence_all, synthesize_fences
+from ..analysis.taint import analyze_program
+from ..analysis.valueset import refine_report
+from ..core.policy import SecurityConfig
+from ..isa.program import Program
+from ..params import DEFAULT_MAX_CYCLES, MachineParams, paper_config
+from ..pipeline.processor import Processor
+from ..stats import safe_div
+from ..workloads import spec_names, spec_program
+from .formatting import percent, text_table
+
+#: Column order of the study (first column is the denominator).
+FENCE_STUDY_MODES: Tuple[str, ...] = (
+    "unsafe", "fence-all", "synthesized", "cache-hit", "tpbuf",
+)
+
+
+@dataclass
+class FenceStudyRow:
+    """One program's cycles under every mitigation column."""
+
+    name: str
+    #: ``gadget`` (corpus driver) or ``spec`` (SPEC-like workload).
+    group: str
+    cycles: Dict[str, int]
+    fences_all: int
+    fences_synthesized: int
+    findings: int
+    confirmed: int
+
+    def overhead(self, mode: str) -> float:
+        """Normalized cycle overhead of ``mode`` vs the unsafe run."""
+        return safe_div(self.cycles[mode], self.cycles["unsafe"], 1.0) - 1.0
+
+
+@dataclass
+class FenceStudyResult:
+    """The full study table."""
+
+    rows: List[FenceStudyRow]
+    window: int
+    scale: float
+
+    def group_rows(self, group: str) -> List[FenceStudyRow]:
+        return [row for row in self.rows if row.group == group]
+
+    def average_overhead(self, mode: str,
+                         group: Optional[str] = None) -> float:
+        rows = self.group_rows(group) if group else self.rows
+        if not rows:
+            return 0.0
+        return sum(row.overhead(mode) for row in rows) / len(rows)
+
+    def render(self) -> str:
+        headers = ["program", "group", "fences (synth/all)",
+                   *[f"{mode}" for mode in FENCE_STUDY_MODES[1:]]]
+        table_rows = []
+        for row in self.rows:
+            table_rows.append([
+                row.name,
+                row.group,
+                f"{row.fences_synthesized}/{row.fences_all}",
+                *[percent(row.overhead(mode))
+                  for mode in FENCE_STUDY_MODES[1:]],
+            ])
+        for group in ("gadget", "spec"):
+            if self.group_rows(group):
+                table_rows.append([
+                    f"average ({group})", group, "",
+                    *[percent(self.average_overhead(mode, group))
+                      for mode in FENCE_STUDY_MODES[1:]],
+                ])
+        return text_table(
+            headers, table_rows,
+            title=(f"fence study: cycle overhead vs unsafe baseline "
+                   f"(window {self.window}, scale {self.scale:g})"),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "window": self.window,
+            "scale": self.scale,
+            "modes": list(FENCE_STUDY_MODES),
+            "rows": [
+                {
+                    "name": row.name,
+                    "group": row.group,
+                    "cycles": dict(row.cycles),
+                    "fences_all": row.fences_all,
+                    "fences_synthesized": row.fences_synthesized,
+                    "findings": row.findings,
+                    "confirmed": row.confirmed,
+                    "overheads": {
+                        mode: row.overhead(mode)
+                        for mode in FENCE_STUDY_MODES[1:]
+                    },
+                }
+                for row in self.rows
+            ],
+            "averages": {
+                group: {
+                    mode: self.average_overhead(mode, group)
+                    for mode in FENCE_STUDY_MODES[1:]
+                }
+                for group in ("gadget", "spec")
+                if self.group_rows(group)
+            },
+        }
+
+
+def _cycles(program: Program, machine: MachineParams,
+            security: SecurityConfig, max_cycles: int) -> int:
+    cpu = Processor(program, machine=machine, security=security)
+    return cpu.run(max_cycles=max_cycles).cycles
+
+
+def _study_row(
+    name: str,
+    group: str,
+    program: Program,
+    secret_words: Sequence[int],
+    machine: MachineParams,
+    window: int,
+    max_cycles: int,
+) -> Tuple[FenceStudyRow, FenceSynthesis]:
+    synthesis = synthesize_fences(
+        program, window=window, secret_words=secret_words, name=name,
+    )
+    blanket = fence_all(program)
+    report = analyze_program(program, window=window, name=name)
+    refined = refine_report(program, report, secret_words=secret_words)
+    cycles = {
+        "unsafe": _cycles(program, machine,
+                          SecurityConfig.origin(), max_cycles),
+        "fence-all": _cycles(blanket.program, machine,
+                             SecurityConfig.origin(), max_cycles),
+        "synthesized": _cycles(synthesis.program, machine,
+                               SecurityConfig.origin(), max_cycles),
+        "cache-hit": _cycles(program, machine,
+                             SecurityConfig.cache_hit(), max_cycles),
+        "tpbuf": _cycles(program, machine,
+                         SecurityConfig.cache_hit_tpbuf(), max_cycles),
+    }
+    row = FenceStudyRow(
+        name=name,
+        group=group,
+        cycles=cycles,
+        fences_all=blanket.inserted,
+        fences_synthesized=synthesis.fence_count,
+        findings=len(report.findings),
+        confirmed=len(refined.confirmed),
+    )
+    return row, synthesis
+
+
+def run_fence_study(
+    machine: Optional[MachineParams] = None,
+    benchmarks: Optional[Iterable[str]] = None,
+    gadgets: Sequence[str] = GADGET_KINDS,
+    scale: float = 0.3,
+    window: Optional[int] = None,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
+) -> FenceStudyResult:
+    """Sweep gadget corpus + SPEC-like workloads across the five
+    mitigation columns.
+
+    ``scale`` shrinks the synthetic SPEC workloads (they are run five
+    times each); ``window`` defaults to the machine's ROB size, the
+    bound that matches the dynamic speculation depth.
+    """
+    machine = machine if machine is not None else paper_config()
+    if window is None:
+        window = machine.core.rob_entries
+    rows: List[FenceStudyRow] = []
+    secrets = corpus_secret_words()
+    for kind in gadgets:
+        row, _ = _study_row(
+            f"gadget-{kind}", "gadget",
+            build_corpus_variant(kind, "unsafe"),
+            secrets, machine, window, max_cycles,
+        )
+        rows.append(row)
+    for name in (benchmarks if benchmarks is not None else spec_names()):
+        row, _ = _study_row(
+            name, "spec",
+            spec_program(name, scale=scale),
+            (), machine, window, max_cycles,
+        )
+        rows.append(row)
+    return FenceStudyResult(rows=rows, window=window, scale=scale)

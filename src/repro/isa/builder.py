@@ -34,6 +34,26 @@ class ProgramBuilder:
         self._labels: Dict[str, int] = {}
         self._memory: Dict[int, int] = {}
 
+    @classmethod
+    def from_program(cls, program: Program) -> "ProgramBuilder":
+        """A builder pre-populated with an existing program's
+        instructions, labels and data image, positioned to append at
+        the old end address.  Labels keep their original addresses;
+        callers extending the program define new ones."""
+        builder = cls(base_address=program.base_address)
+        by_address: Dict[int, List[str]] = {}
+        for name, address in program.labels.items():
+            by_address.setdefault(address, []).append(name)
+        for address, instruction in program.iter_addressed():
+            for name in by_address.get(address, ()):
+                builder.label(name)
+            builder.raw(instruction)
+        for name in by_address.get(program.end_address, ()):
+            builder.label(name)
+        for address, value in program.initial_memory.items():
+            builder.data_word(address, value)
+        return builder
+
     # ---- layout ---------------------------------------------------------
 
     @property

@@ -9,8 +9,8 @@ real front ends fetch garbage past a misprediction.
 """
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..errors import SimulationError
 from .instructions import INSTRUCTION_BYTES, WORD_BYTES, Instruction, Opcode
@@ -82,6 +82,134 @@ class Program:
                 lines.append(f"{name}:")
             lines.append(f"  {address:#06x}  {instruction}")
         return "\n".join(lines)
+
+
+@dataclass
+class FenceRewrite:
+    """Result of :func:`insert_fences`.
+
+    Carries the rewritten program plus the address bookkeeping needed
+    to relate analyses of the two images: ``to_new`` maps every
+    original instruction address to its post-rewrite address,
+    ``fence_for`` maps a fenced original address to its protecting
+    fence, and ``fence_addresses`` lists the inserted fences in the
+    new image.
+    """
+
+    program: Program
+    #: Original instruction address -> address in the new image.
+    to_new: Dict[int, int]
+    #: Addresses (new image) of the FENCE instructions inserted.
+    fence_addresses: Tuple[int, ...]
+    #: Fenced original address -> address of its protecting fence.
+    fence_for: Dict[int, int] = field(default_factory=dict)
+    #: ``end_address`` of the original program.
+    old_end: int = 0
+    #: ``end_address`` of the rewritten program.
+    new_end: int = 0
+
+    @property
+    def inserted(self) -> int:
+        return len(self.fence_addresses)
+
+    def remap_address(self, address: int) -> int:
+        """Where a control transfer to (or value naming) ``address``
+        should land in the rewritten image.  Fenced addresses map to
+        their protecting fence so *every* path into a fenced
+        instruction — fall-through or jump — serializes first; the
+        fence is architecturally a NOP, so semantics are preserved."""
+        if address in self.fence_for:
+            return self.fence_for[address]
+        if address == self.old_end:
+            return self.new_end
+        return self.to_new.get(address, address)
+
+
+def insert_fences(program: Program, pcs: Iterable[int]) -> FenceRewrite:
+    """Insert a ``FENCE`` immediately before each instruction address
+    in ``pcs`` and fix up everything the shifted layout breaks.
+
+    Rewriting moves instructions, so three classes of embedded
+    addresses are remapped through :meth:`FenceRewrite.remap_address`:
+
+    - direct branch / jump / call targets;
+    - ``LI`` immediates **when the immediate is a known code label**
+      (``li_label`` results such as stored function pointers).  Plain
+      constants that merely collide numerically with a code address
+      (e.g. a page size of 4096 equal to the base address) are left
+      untouched — the label table is the ground truth for what is an
+      address;
+    - initial-memory words holding label addresses (indirect-branch
+      targets materialized in data), under the same label rule;
+    - the entry point and the label table itself.
+
+    A target that is itself fenced remaps to the protecting fence, so
+    the fence guards jump edges as well as fall-through.
+    """
+    fence_before = set(pcs)
+    for pc in fence_before:
+        if program.instruction_at(pc) is None:
+            raise SimulationError(
+                f"cannot fence unmapped address {pc:#x}"
+            )
+    label_addresses = set(program.labels.values())
+
+    new_instructions: List[Instruction] = []
+    to_new: Dict[int, int] = {}
+    fence_for: Dict[int, int] = {}
+    fence_addresses: List[int] = []
+    for address, instruction in program.iter_addressed():
+        if address in fence_before:
+            fence_address = (program.base_address
+                             + len(new_instructions) * INSTRUCTION_BYTES)
+            fence_addresses.append(fence_address)
+            fence_for[address] = fence_address
+            new_instructions.append(
+                Instruction(Opcode.FENCE, note="synthesized")
+            )
+        to_new[address] = (program.base_address
+                           + len(new_instructions) * INSTRUCTION_BYTES)
+        new_instructions.append(instruction)
+
+    rewrite = FenceRewrite(
+        program=program,  # placeholder until the new image is built
+        to_new=to_new,
+        fence_addresses=tuple(fence_addresses),
+        fence_for=fence_for,
+        old_end=program.end_address,
+        new_end=(program.base_address
+                 + len(new_instructions) * INSTRUCTION_BYTES),
+    )
+
+    def remap_value(value: int) -> int:
+        """Remap only values the label table declares to be code."""
+        if value in label_addresses:
+            return rewrite.remap_address(value)
+        return value
+
+    rewritten: List[Instruction] = []
+    for instruction in new_instructions:
+        if instruction.is_branch and not instruction.is_indirect:
+            instruction = replace(
+                instruction, target=rewrite.remap_address(instruction.target)
+            )
+        elif instruction.op is Opcode.LI:
+            instruction = replace(instruction,
+                                  imm=remap_value(instruction.imm))
+        rewritten.append(instruction)
+
+    entry_point = program.entry_point
+    rewrite.program = Program(
+        instructions=rewritten,
+        base_address=program.base_address,
+        labels={name: rewrite.remap_address(address)
+                for name, address in program.labels.items()},
+        initial_memory={address: remap_value(value)
+                        for address, value in program.initial_memory.items()},
+        entry_point=(rewrite.remap_address(entry_point)
+                     if entry_point is not None else None),
+    )
+    return rewrite
 
 
 class InstructionMemory:

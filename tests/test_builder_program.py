@@ -157,3 +157,36 @@ class TestInstructionMemory:
         b.data_word(0x4008, 2)
         imem = InstructionMemory(a.halt().build(), b.halt().build())
         assert imem.initial_memory() == {0x4000: 1, 0x4008: 2}
+
+
+class TestFromProgram:
+    def _original(self):
+        b = ProgramBuilder(0x1000)
+        b.li(1, 0x6000)
+        b.label("loop")
+        b.load(2, 1)
+        b.bne(2, 0, "loop")
+        b.halt()
+        b.label("end")
+        b.data_word(0x6000, 0)
+        return b.build()
+
+    def test_round_trip_preserves_image(self):
+        program = self._original()
+        rebuilt = ProgramBuilder.from_program(program).build()
+        assert rebuilt.instructions == program.instructions
+        assert rebuilt.labels == program.labels
+        assert rebuilt.initial_memory == program.initial_memory
+        assert rebuilt.base_address == program.base_address
+
+    def test_append_after_existing_program(self):
+        program = self._original()
+        builder = ProgramBuilder.from_program(program)
+        assert builder.next_address == program.end_address
+        builder.label("extra")
+        builder.nop()
+        extended = builder.build()
+        assert len(extended) == len(program) + 1
+        assert extended.labels["extra"] == program.end_address
+        # the end-address label survives the round trip too
+        assert extended.labels["end"] == program.labels["end"]

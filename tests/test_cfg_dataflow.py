@@ -213,3 +213,93 @@ class TestDataflowEngine:
         cfg = _cfg(diamond_program)
         with pytest.raises(KeyError):
             cfg.block_at(0xDEAD)
+
+
+class _Interval(Lattice):
+    """Toy interval lattice with *infinite* ascending chains.
+
+    State maps register -> (lo, hi); a missing register is unknown.
+    A decrementing loop keeps lowering ``lo`` by one per pass, so a
+    plain-join fixpoint never terminates — the engine must call
+    :meth:`widen` once a back-edge block keeps growing.  A transfer
+    budget turns would-be nontermination into a catchable exception.
+    """
+
+    MIN = -(2 ** 63)
+    MAX = 2 ** 63 - 1
+
+    def __init__(self, budget=50_000):
+        self.budget = budget
+        self.transfers = 0
+        self.widen_calls = 0
+
+    def join(self, a, b):
+        out = {}
+        for reg in set(a) & set(b):
+            out[reg] = (min(a[reg][0], b[reg][0]),
+                        max(a[reg][1], b[reg][1]))
+        return out
+
+    def equals(self, a, b):
+        return a == b
+
+    def widen(self, old, new):
+        self.widen_calls += 1
+        out = {}
+        for reg in set(old) & set(new):
+            lo = old[reg][0] if new[reg][0] >= old[reg][0] else self.MIN
+            hi = old[reg][1] if new[reg][1] <= old[reg][1] else self.MAX
+            out[reg] = (lo, hi)
+        return out
+
+    def transfer(self, state, address, instr):
+        self.transfers += 1
+        if self.transfers > self.budget:
+            raise TimeoutError("no fixpoint within transfer budget")
+        out = dict(state)
+        name = instr.op.name
+        if name == "LI":
+            out[instr.rd] = (instr.imm, instr.imm)
+        elif name == "ADDI" and instr.rs1 in out:
+            lo, hi = out[instr.rs1]
+            out[instr.rd] = (max(self.MIN, lo + instr.imm),
+                             min(self.MAX, hi + instr.imm))
+        elif instr.rd:
+            out.pop(instr.rd, None)
+        return out
+
+
+class TestWidening:
+    def test_backedge_converges_with_widening(self):
+        cfg = _cfg(loop_program)
+        lattice = _Interval()
+        flow = ForwardDataflow(cfg, lattice, widen_after=4)
+        result = flow.run({cfg.entry.index: {}})
+        state = result.state_before(cfg.program.labels["loop"])
+        # the decremented counter is widened to an open lower bound
+        # while the stable upper bound is kept
+        assert state[1] == (_Interval.MIN, 4)
+        assert lattice.widen_calls > 0
+
+    def test_infinite_chain_needs_widening_to_terminate(self):
+        # With widening effectively disabled the same loop descends
+        # one interval step per pass and burns the whole transfer
+        # budget without reaching a fixpoint.
+        cfg = _cfg(loop_program)
+        flow = ForwardDataflow(cfg, _Interval(budget=10_000),
+                               widen_after=10 ** 9)
+        with pytest.raises(TimeoutError):
+            flow.run({cfg.entry.index: {}})
+
+    def test_finite_lattice_unaffected_by_widen_threshold(self):
+        # Default widen() is plain join, so finite-height analyses
+        # reach the same fixpoint no matter the threshold.
+        cfg = _cfg(loop_program)
+        states = []
+        for widen_after in (0, 8, 10 ** 9):
+            flow = ForwardDataflow(cfg, _ReachingConst(),
+                                   widen_after=widen_after)
+            result = flow.run({cfg.entry.index: {}})
+            states.append(result.state_before(cfg.program.labels["loop"]))
+        assert states[0] == states[1] == states[2]
+        assert states[0][1] is _ReachingConst.TOP

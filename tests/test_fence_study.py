@@ -1,0 +1,57 @@
+"""Tests for the fence overhead study (software repair vs hardware)."""
+import pytest
+
+from repro.experiments import FENCE_STUDY_MODES, run_fence_study
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_fence_study(benchmarks=["bzip2", "mcf"], scale=0.15)
+
+
+class TestFenceStudy:
+    def test_row_coverage(self, study):
+        gadget_rows = study.group_rows("gadget")
+        spec_rows = study.group_rows("spec")
+        assert {row.name for row in gadget_rows} == \
+            {"gadget-v1", "gadget-v2", "gadget-v4", "gadget-rsb"}
+        assert {row.name for row in spec_rows} == {"bzip2", "mcf"}
+        for row in study.rows:
+            assert set(row.cycles) == set(FENCE_STUDY_MODES)
+            assert all(c > 0 for c in row.cycles.values())
+
+    def test_acceptance_ordering_on_spec(self, study):
+        # the ISSUE acceptance bar: blanket fencing costs more than the
+        # synthesized minimal placement, which costs more than the
+        # paper's hardware filters
+        fence_all = study.average_overhead("fence-all", "spec")
+        synthesized = study.average_overhead("synthesized", "spec")
+        cache_hit = study.average_overhead("cache-hit", "spec")
+        tpbuf = study.average_overhead("tpbuf", "spec")
+        assert fence_all > synthesized > cache_hit
+        assert cache_hit >= tpbuf >= 0.0
+        assert fence_all > 0.5, "blanket fencing must be ruinous"
+
+    def test_ordering_holds_per_spec_row(self, study):
+        for row in study.group_rows("spec"):
+            assert row.overhead("fence-all") > row.overhead("synthesized")
+            assert row.overhead("synthesized") > row.overhead("cache-hit")
+
+    def test_synthesized_fence_counts_minimal(self, study):
+        for row in study.rows:
+            assert row.fences_synthesized <= row.fences_all
+        for row in study.group_rows("gadget"):
+            # every corpus gadget is repaired with a single fence
+            assert row.fences_synthesized == 1
+            assert row.fences_all > 1
+            assert row.confirmed >= 1
+
+    def test_render_and_to_dict(self, study):
+        text = study.render()
+        assert "fence study" in text
+        assert "average (spec)" in text and "average (gadget)" in text
+        doc = study.to_dict()
+        assert doc["modes"] == list(FENCE_STUDY_MODES)
+        averages = doc["averages"]["spec"]
+        assert averages["fence-all"] > averages["synthesized"] > \
+            averages["cache-hit"]

@@ -1,0 +1,325 @@
+"""Tests for the value-set lattice and finding refutation."""
+import pytest
+
+from repro.analysis import (
+    ValueSet,
+    ValueSetLattice,
+    ValueSetState,
+    analyze_program,
+    compute_value_sets,
+    corpus_precision,
+    cross_validate,
+    refine_report,
+)
+from repro.analysis.corpus import (
+    CORPUS_VARIANTS,
+    GADGET_KINDS,
+    build_corpus_variant,
+    corpus_secret_words,
+)
+from repro.analysis.valueset import (
+    TOP,
+    U64_MAX,
+    ZERO,
+    constant,
+    data_regions,
+    vs_add,
+    vs_and,
+    vs_div,
+    vs_join,
+    vs_mul,
+    vs_shl,
+    vs_shr,
+    vs_sub,
+    vs_widen,
+)
+from repro.isa import ProgramBuilder
+
+
+def interval(lo, hi, stride=1):
+    return ValueSet(lo, hi, stride)
+
+
+class TestValueSetOps:
+    def test_constant_and_top_predicates(self):
+        assert constant(5).is_constant and not constant(5).is_top
+        assert TOP.is_top and not TOP.is_bounded
+        assert ZERO == constant(0)
+
+    def test_invalid_intervals_rejected(self):
+        with pytest.raises(ValueError):
+            ValueSet(5, 4, 1)
+        with pytest.raises(ValueError):
+            ValueSet(1, 2, 0)  # stride 0 must mean constant
+
+    def test_join_hull_and_stride_gcd(self):
+        joined = vs_join(constant(0x6000), constant(0x6018))
+        assert (joined.lo, joined.hi, joined.stride) == (0x6000, 0x6018, 0x18)
+        # mixing strides takes the gcd of strides and offsets
+        joined = vs_join(interval(0, 8, 4), interval(16, 32, 8))
+        assert joined.stride == 4
+        assert vs_join(TOP, constant(1)).is_top
+
+    def test_widen_jumps_unstable_bounds(self):
+        widened = vs_widen(interval(4, 4, 0), interval(3, 4, 1))
+        assert (widened.lo, widened.hi) == (0, 4)
+        widened = vs_widen(interval(0, 4, 1), interval(0, 5, 1))
+        assert widened.hi == U64_MAX
+        assert vs_widen(constant(7), constant(7)) == constant(7)
+
+    def test_arithmetic(self):
+        assert vs_add(constant(2), constant(3)) == constant(5)
+        assert vs_add(interval(0, 56, 8), constant(0x6000)) == \
+            interval(0x6000, 0x6038, 8)
+        assert vs_sub(constant(10), constant(4)) == constant(6)
+        assert vs_sub(constant(0), constant(1)).is_top  # wraps
+        assert vs_mul(interval(0, 7), constant(8)) == interval(0, 56, 8)
+        assert vs_div(interval(0, 56, 8), constant(8)) == interval(0, 7)
+        assert vs_add(TOP, constant(1)).is_top
+
+    def test_shifts(self):
+        assert vs_shl(interval(0, 7), 3) == interval(0, 56, 8)
+        assert vs_shr(interval(0, 56, 8), 3) == interval(0, 7)
+        assert vs_shl(constant(1), 64).is_top
+        assert vs_shl(interval(0, U64_MAX - 1), 1).is_top  # overflow
+
+    def test_and_masking(self):
+        # the Spectre-mask idiom: unknown & 7 is bounded by [0, 7]
+        assert vs_and(TOP, constant(7)) == interval(0, 7)
+        assert vs_and(constant(0b1100), constant(0b1010)) == constant(0b1000)
+        assert vs_and(TOP, TOP).is_top
+
+    def test_shift_detects_wraparound(self):
+        assert constant(U64_MAX).shift(1) is None
+        assert constant(1).shift(-2) is None
+        assert constant(8).shift(8) == constant(16)
+
+
+class TestLatticeTransfer:
+    def _fixpoint(self, build):
+        b = ProgramBuilder()
+        build(b)
+        program = b.build()
+        return program, compute_value_sets(program)
+
+    def test_straightline_mask_chain(self):
+        def build(b):
+            b.li(1, 0x6000)
+            b.load(2, 1)           # unknown value
+            b.andi(2, 2, 7)        # -> [0, 7]
+            b.shli(2, 2, 3)        # -> [0, 56]/8
+            b.add(3, 1, 2)         # -> [0x6000, 0x6038]/8
+            b.halt()
+
+        program, values = self._fixpoint(build)
+        state = values.state_before(program.address_of(5))
+        assert state.value_of(1) == constant(0x6000)
+        assert state.value_of(2) == interval(0, 56, 8)
+        assert state.value_of(3) == interval(0x6000, 0x6038, 8)
+
+    def test_loads_produce_top(self):
+        def build(b):
+            b.li(1, 0x6000)
+            b.load(2, 1)
+            b.halt()
+
+        program, values = self._fixpoint(build)
+        state = values.state_before(program.address_of(2))
+        assert state.value_of(2).is_top
+
+    def test_r0_is_always_zero(self):
+        state = ValueSetState()
+        assert state.value_of(0) == ZERO
+        assert state.with_value(0, TOP).value_of(0) == ZERO
+
+    def test_reset_state_registers_are_zero(self):
+        def build(b):
+            b.addi(2, 7, 5)   # r7 is 0 at reset -> r2 == 5
+            b.halt()
+
+        program, values = self._fixpoint(build)
+        state = values.state_before(program.address_of(1))
+        assert state.value_of(2) == constant(5)
+
+    def test_join_drops_conflicting_constants_to_hull(self):
+        lattice = ValueSetLattice()
+        a = ValueSetState().with_value(1, constant(4))
+        b = ValueSetState().with_value(1, constant(8))
+        joined = lattice.join(a, b)
+        assert joined.value_of(1) == interval(4, 8, 4)
+        # a register bounded on only one side joins to TOP (absent)
+        joined = lattice.join(a, ValueSetState())
+        assert joined.value_of(1).is_top
+
+    def test_loop_counter_widens_but_invariant_survives(self):
+        # back-edge convergence on the real lattice: the decremented
+        # counter must widen away while the loop-invariant base
+        # register stays a constant through the fixpoint
+        def build(b):
+            b.li(1, 100)
+            b.li(2, 0x6000)
+            b.label("loop")
+            b.addi(1, 1, -1)
+            b.bne(1, 0, "loop")
+            b.mov(3, 2)
+            b.halt()
+
+        program, values = self._fixpoint(build)
+        state = values.state_before(program.labels["loop"])
+        assert state.value_of(2) == constant(0x6000)
+        counter = state.value_of(1)
+        assert counter.is_top or counter.hi == 100
+
+
+class TestDataRegions:
+    def test_contiguous_runs_merge(self):
+        b = ProgramBuilder()
+        for i in range(4):
+            b.data_word(0x6000 + 8 * i, i)
+        b.data_word(0x9000, 1)
+        b.halt()
+        regions = data_regions(b.build())
+        assert (0x6000, 0x6018) in regions
+        assert (0x9000, 0x9000) in regions
+
+    def test_empty_program_has_no_regions(self):
+        b = ProgramBuilder()
+        b.halt()
+        assert data_regions(b.build()) == []
+
+
+class TestRefinement:
+    @pytest.mark.parametrize("kind", GADGET_KINDS)
+    def test_unsafe_variants_confirmed(self, kind):
+        program = build_corpus_variant(kind, "unsafe")
+        report = analyze_program(program, name=kind)
+        refined = refine_report(program, report,
+                                secret_words=corpus_secret_words())
+        assert report.findings, f"{kind}: unsafe variant must be flagged"
+        assert refined.confirmed and not refined.refuted
+        assert not refined.clean
+
+    @pytest.mark.parametrize("kind", GADGET_KINDS)
+    def test_masked_variants_fully_refuted(self, kind):
+        program = build_corpus_variant(kind, "masked")
+        report = analyze_program(program, name=kind)
+        refined = refine_report(program, report,
+                                secret_words=corpus_secret_words())
+        assert report.findings, \
+            f"{kind}: masked variant is still an S-Pattern to the taint pass"
+        assert refined.clean and refined.refuted
+        assert refined.false_positive_reduction == 1.0
+
+    @pytest.mark.parametrize("kind", GADGET_KINDS)
+    def test_fenced_variants_clean_before_refinement(self, kind):
+        program = build_corpus_variant(kind, "fenced")
+        report = analyze_program(program, name=kind)
+        assert not report.findings
+
+    def test_refutations_carry_machine_checkable_bounds(self):
+        program = build_corpus_variant("v1", "masked")
+        report = analyze_program(program, name="v1-masked")
+        refined = refine_report(program, report,
+                                secret_words=corpus_secret_words())
+        regions = data_regions(program)
+        for refuted in refined.refuted:
+            assert refuted.refutation.reason in ("in-bounds", "no-alias")
+            assert refuted.refutation.bounds
+            for bound in refuted.refutation.bounds:
+                assert bound.lo <= bound.hi
+                assert (bound.region_lo, bound.region_hi) in regions
+                assert bound.region_lo <= bound.lo
+                assert bound.hi <= bound.region_hi + 7
+                for secret in corpus_secret_words():
+                    assert not (bound.lo <= secret + 7
+                                and secret <= bound.hi + 7)
+
+    def test_v4_refutation_uses_no_alias(self):
+        program = build_corpus_variant("v4", "masked")
+        report = analyze_program(program, name="v4-masked")
+        refined = refine_report(program, report,
+                                secret_words=corpus_secret_words())
+        assert refined.clean
+        reasons = {r.refutation.reason for r in refined.refuted
+                   if r.finding.kind.value == "spectre-v4"}
+        assert reasons == {"no-alias"}
+
+    def test_secret_words_block_refutation(self):
+        # a masked chain that reads the declared secret region must
+        # stay confirmed no matter how bounded the address set is
+        from repro.attacks.layout import AttackLayout
+
+        layout = AttackLayout()
+        b = ProgramBuilder(base_address=layout.code_base)
+        for i in range(2):
+            b.data_word(layout.secret_addr + 8 * i, 0x41)
+        b.li(1, 0x80)
+        b.beq(1, 0, "skip")
+        b.li(2, layout.secret_addr)
+        b.load(3, 2, note="bounded secret read")
+        b.shli(3, 3, 6)
+        b.li(4, layout.secret_addr)
+        b.add(4, 4, 3)
+        b.load(5, 4, note="transmit")
+        b.label("skip")
+        b.halt()
+        program = b.build()
+        report = analyze_program(program, name="secret-read")
+        assert report.findings
+        without = refine_report(program, report)
+        with_secret = refine_report(
+            program, report, secret_words=(layout.secret_addr,))
+        assert len(with_secret.confirmed) >= len(without.confirmed)
+        assert with_secret.confirmed, \
+            "declared secret read must survive refinement"
+
+    def test_refinement_preserves_static_suspects(self):
+        # refinement downgrades findings, never the suspect set the
+        # dynamic cross-validation is checked against
+        program = build_corpus_variant("v1", "masked")
+        report = analyze_program(program, name="v1-masked")
+        refined = refine_report(program, report,
+                                secret_words=corpus_secret_words())
+        assert refined.clean
+        assert refined.base.suspect_pcs == report.suspect_pcs
+        assert report.suspect_pcs
+        result = cross_validate(program, name="v1-masked")
+        assert result.covered
+
+
+class TestCorpusPrecision:
+    """Satellite: asserted precision numbers on the gadget corpus."""
+
+    @pytest.fixture(scope="class")
+    def precision(self):
+        return corpus_precision()
+
+    def test_case_grid_is_complete(self, precision):
+        kinds = {case.kind for case in precision.cases}
+        variants = {case.variant for case in precision.cases}
+        assert kinds == set(GADGET_KINDS)
+        assert variants == set(CORPUS_VARIANTS)
+        assert len(precision.cases) == len(GADGET_KINDS) * len(CORPUS_VARIANTS)
+
+    def test_false_positive_rate_halves_to_zero(self, precision):
+        assert precision.fp_rate_before == pytest.approx(0.5)
+        assert precision.fp_rate_after == 0.0
+
+    def test_no_false_negatives_before_or_after(self, precision):
+        assert precision.fn_rate_before == 0.0
+        assert precision.fn_rate_after == 0.0
+
+    def test_refinement_strictly_reduces_suspects(self, precision):
+        # the ISSUE acceptance bar: strictly fewer flagged benign
+        # programs after refinement, no lost gadgets
+        benign = [c for c in precision.cases if not c.is_gadget]
+        gadgets = [c for c in precision.cases if c.is_gadget]
+        assert sum(c.flagged_after for c in benign) < \
+            sum(c.flagged_before for c in benign)
+        for case in gadgets:
+            assert case.flagged_before and case.flagged_after
+
+    def test_render_smoke(self, precision):
+        text = precision.render()
+        assert "precision" in text
+        assert "masked" in text

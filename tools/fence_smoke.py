@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Fence-synthesis smoke check: repair every corpus gadget and attack.
+
+The three-way verification contract of ``repro.analysis.fencesynth``
+is asserted end to end:
+
+1. every unsafe corpus gadget gets a synthesized placement that is
+   strictly smaller than fence-all, and the rewritten image re-scans
+   clean (taint scan + value-set refinement);
+2. the fenced image is architecturally equivalent to the original on
+   the in-order oracle (modulo the documented address remapping);
+3. every full Spectre attack program (V1/V2/V4/RSB), fenced by the
+   synthesizer, recovers nothing on the *unprotected* core — zero
+   secret leakage where the unfenced attack demonstrably leaks.
+
+Masked corpus variants must synthesize to zero fences (the value-set
+refinement proves the masking sufficient).
+
+Run:  PYTHONPATH=src python tools/fence_smoke.py [--verbose]
+
+Exit status 0 iff every assertion holds.
+"""
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+
+from repro.analysis import (
+    analyze_program,
+    fence_all,
+    oracle_equivalent,
+    refine_report,
+    synthesize_fences,
+    uses_rdcycle,
+)
+from repro.analysis.corpus import (
+    GADGET_KINDS,
+    build_corpus_variant,
+    corpus_secret_words,
+)
+from repro.attacks import (
+    build_spectre_rsb,
+    build_spectre_v1,
+    build_spectre_v2,
+    build_spectre_v4,
+)
+from repro.attacks.harness import run_attack
+from repro.core.policy import SecurityConfig
+
+_ATTACK_BUILDERS = {
+    "v1": build_spectre_v1,
+    "v2": build_spectre_v2,
+    "v4": build_spectre_v4,
+    "rsb": build_spectre_rsb,
+}
+
+
+def check_corpus(verbose: bool) -> int:
+    failures = 0
+    secrets = corpus_secret_words()
+    print("== corpus repair ==")
+    for kind in GADGET_KINDS:
+        program = build_corpus_variant(kind, "unsafe")
+        synthesis = synthesize_fences(program, secret_words=secrets,
+                                      name=f"{kind}-unsafe")
+        blanket = fence_all(program)
+        rescan = analyze_program(synthesis.program)
+        refined = refine_report(synthesis.program, rescan,
+                                secret_words=secrets)
+        oracle_ok = oracle_equivalent(program, synthesis.rewrite)
+        ok = (synthesis.clean
+              and 1 <= synthesis.fence_count < blanket.inserted
+              and not refined.confirmed
+              and oracle_ok)
+        failures += 0 if ok else 1
+        print(f"  {kind:4s} unsafe: {synthesis.fence_count} fence(s) "
+              f"vs fence-all {blanket.inserted}, rescan "
+              f"{'clean' if not refined.confirmed else 'DIRTY'}, "
+              f"oracle {'OK' if oracle_ok else 'MISMATCH'}  "
+              f"{'ok' if ok else 'FAIL'}")
+        if verbose:
+            print(f"       {synthesis.render()}")
+
+        masked = build_corpus_variant(kind, "masked")
+        msynth = synthesize_fences(masked, secret_words=secrets,
+                                   name=f"{kind}-masked")
+        mok = msynth.clean and msynth.fence_count == 0
+        failures += 0 if mok else 1
+        print(f"  {kind:4s} masked: {msynth.fence_count} fence(s) "
+              f"(refinement proves masking)  {'ok' if mok else 'FAIL'}")
+    return failures
+
+
+def check_attacks(verbose: bool) -> int:
+    failures = 0
+    print("== fenced attacks leak nothing ==")
+    for kind, builder in _ATTACK_BUILDERS.items():
+        attack = builder()
+        synthesis = synthesize_fences(
+            attack.program, secret_words=corpus_secret_words(),
+            name=f"spectre-{kind}",
+        )
+        # attacks read RDCYCLE, so the oracle leg is out of scope;
+        # the zero-leak run below is their equivalence check
+        assert uses_rdcycle(attack.program)
+        baseline = run_attack(builder(),
+                              security=SecurityConfig.origin())
+        fenced = dataclasses.replace(builder(), program=synthesis.program)
+        repaired = run_attack(fenced, security=SecurityConfig.origin())
+        ok = (synthesis.clean
+              and baseline.success
+              and not repaired.success)
+        failures += 0 if ok else 1
+        print(f"  {kind:4s}: unfenced "
+              f"{'LEAKED' if baseline.success else 'NO-LEAK (FAIL)'}, "
+              f"fenced ({synthesis.fence_count} fence(s)) "
+              f"{'no-leak' if not repaired.success else 'LEAKED'}  "
+              f"{'ok' if ok else 'FAIL'}")
+        if verbose:
+            print(f"       {synthesis.render()}")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args()
+    failures = check_corpus(args.verbose)
+    failures += check_attacks(args.verbose)
+    if failures:
+        print(f"\nFAILED: {failures} check(s)")
+        return 1
+    print("\nall fence-synthesis checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
