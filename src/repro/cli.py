@@ -9,13 +9,21 @@ Commands:
   assembly files or ``corpus:<kind>[:<variant>]`` specs naming a
   built-in gadget driver (e.g. ``corpus:v1:masked``).
 - ``attack``   - run a Spectre PoC under a protection mode.
-- ``bench``    - simulate a SPEC profile under one or all modes.
+- ``bench``    - simulate a SPEC profile under one or all modes, or
+  (``--suite``) run the performance harness: simulated-instructions/sec
+  plus serial-vs-parallel sweep wall-clock, written to
+  ``BENCH_sweep.json``.
 - ``sweep``    - checkpointed benchmark x mode sweep with ``--resume``
   and optional fault injection (``--inject``).
 - ``fence``    - fence overhead study: unsafe vs fence-all vs
   synthesized fences vs the hardware filters.
 - ``figure5`` / ``table4`` / ``table5`` / ``table6`` / ``lru`` /
   ``area``   - regenerate a paper artifact.
+
+Experiment subcommands are thin shells over the unified
+:func:`repro.experiments.api.run_experiment` facade; sweeping commands
+accept ``--workers N`` to fan independent simulations across a process
+pool.
 """
 from __future__ import annotations
 
@@ -43,12 +51,8 @@ from .core.policy import EVALUATION_MODES, ProtectionMode, SecurityConfig
 from .experiments import (
     SweepEngine,
     run_area_study,
-    run_figure5,
-    run_lru_study,
+    run_experiment,
     run_modes,
-    run_table4,
-    run_table5,
-    run_table6,
 )
 from .experiments.area_study import render_area_study
 from .isa import assemble
@@ -239,11 +243,31 @@ def _cmd_attack(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     machine = _machine(args)
-    if args.benchmark not in spec_names():
-        print(f"unknown benchmark {args.benchmark!r}; "
+    unknown = [name for name in args.benchmarks
+               if name not in spec_names()]
+    if unknown:
+        print(f"unknown benchmark(s) {', '.join(unknown)}; "
               f"choose from {', '.join(spec_names())}", file=sys.stderr)
         return 2
-    reports = run_modes(args.benchmark, machine=machine, scale=args.scale)
+    if args.suite:
+        from .perf.bench import run_bench, write_bench_json
+
+        result = run_bench(
+            benchmarks=args.benchmarks or None, machine=machine,
+            scale=args.scale, workers=args.workers,
+            parallel=not args.serial_only,
+        )
+        print(result.render())
+        if args.out:
+            write_bench_json(result, args.out)
+            print(f"wrote {args.out}")
+        return 0
+    if len(args.benchmarks) != 1:
+        print("bench: give exactly one benchmark, or --suite",
+              file=sys.stderr)
+        return 2
+    reports = run_modes(args.benchmarks[0], machine=machine,
+                        scale=args.scale)
     origin = reports[ProtectionMode.ORIGIN]
     print(compare_table(list(reports.values()), origin))
     return 0
@@ -269,6 +293,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         retries=args.retries,
         wall_clock_budget=args.wall_clock_budget,
         fault_plan=fault_plan,
+        workers=args.workers,
     )
     result = engine.run(
         progress=lambda row: print(
@@ -282,9 +307,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_fence(args: argparse.Namespace) -> int:
-    from .experiments import run_fence_study
-
-    result = run_fence_study(
+    result = run_experiment(
+        "fence_study",
         machine=_machine(args),
         benchmarks=args.benchmarks or None,
         scale=args.scale,
@@ -302,10 +326,12 @@ def _cmd_fence(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure5(args: argparse.Namespace) -> int:
-    result = run_figure5(benchmarks=args.benchmarks or None,
-                         scale=args.scale,
-                         checkpoint=args.checkpoint,
-                         resume=args.resume)
+    result = run_experiment("figure5",
+                            benchmarks=args.benchmarks or None,
+                            scale=args.scale,
+                            checkpoint=args.checkpoint,
+                            resume=args.resume,
+                            workers=args.workers)
     print(result.render())
     if args.json:
         from .experiments.export import dump_json, figure5_to_dict
@@ -315,16 +341,18 @@ def _cmd_figure5(args: argparse.Namespace) -> int:
 
 
 def _cmd_table4(args: argparse.Namespace) -> int:
-    result = run_table4()
+    result = run_experiment("table4")
     print(result.render())
     return 0 if result.all_match_paper() else 1
 
 
 def _cmd_table5(args: argparse.Namespace) -> int:
-    result = run_table5(benchmarks=args.benchmarks or None,
-                        scale=args.scale,
-                        checkpoint=args.checkpoint,
-                        resume=args.resume)
+    result = run_experiment("table5",
+                            benchmarks=args.benchmarks or None,
+                            scale=args.scale,
+                            checkpoint=args.checkpoint,
+                            resume=args.resume,
+                            workers=args.workers)
     print(result.render())
     if args.json:
         from .experiments.export import dump_json, table5_to_dict
@@ -334,15 +362,17 @@ def _cmd_table5(args: argparse.Namespace) -> int:
 
 
 def _cmd_table6(args: argparse.Namespace) -> int:
-    result = run_table6(benchmarks=args.benchmarks or None,
-                        scale=args.scale)
+    result = run_experiment("table6",
+                            benchmarks=args.benchmarks or None,
+                            scale=args.scale)
     print(result.render())
     return 0
 
 
 def _cmd_lru(args: argparse.Namespace) -> int:
-    result = run_lru_study(benchmarks=args.benchmarks or None,
-                           scale=args.scale)
+    result = run_experiment("lru_study",
+                            benchmarks=args.benchmarks or None,
+                            scale=args.scale)
     print(result.render())
     return 0
 
@@ -441,9 +471,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_machine_arg(p_fence)
     p_fence.set_defaults(func=_cmd_fence)
 
-    p_bench = sub.add_parser("bench", help="simulate one SPEC profile")
-    p_bench.add_argument("benchmark")
+    p_bench = sub.add_parser(
+        "bench",
+        help="simulate one SPEC profile, or --suite for the "
+             "performance harness (BENCH_sweep.json)",
+    )
+    p_bench.add_argument("benchmarks", nargs="*",
+                         help="one benchmark, or a subset with --suite "
+                              "(default with --suite: all)")
     p_bench.add_argument("--scale", type=float, default=1.0)
+    p_bench.add_argument("--suite", action="store_true",
+                         help="run the sweep benchmark harness: "
+                              "simulated-instructions/sec and "
+                              "serial-vs-parallel wall-clock")
+    p_bench.add_argument("--workers", type=int, default=None,
+                         help="process-pool size for the parallel pass "
+                              "(default: one per CPU, minimum 2)")
+    p_bench.add_argument("--serial-only", action="store_true",
+                         help="skip the parallel pass (throughput only)")
+    p_bench.add_argument("--out", default=None, metavar="JSON",
+                         help="write the harness result "
+                              "(e.g. BENCH_sweep.json)")
     _add_machine_arg(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
 
@@ -469,6 +517,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "recorded as they finish")
     p_sweep.add_argument("--resume", action="store_true",
                          help="skip pairs already in --checkpoint")
+    p_sweep.add_argument("--workers", type=int, default=1,
+                         help="process-pool size; >1 fans independent "
+                              "runs across cores (default 1)")
     p_sweep.add_argument("--inject", action="store_true",
                          help="run under seeded fault injection")
     p_sweep.add_argument("--fault-seed", type=int, default=0,
@@ -497,6 +548,8 @@ def build_parser() -> argparse.ArgumentParser:
                                     "crash-safe regeneration")
             p_exp.add_argument("--resume", action="store_true",
                                help="skip runs already in --checkpoint")
+            p_exp.add_argument("--workers", type=int, default=1,
+                               help="process-pool size (default 1)")
         p_exp.set_defaults(func=func)
 
     return parser

@@ -30,8 +30,20 @@ from .ablations import (
     run_matrix_ablation,
 )
 from .compare import compare_figure5, compare_table5, rank_correlation
+from .api import (
+    ExperimentSpec,
+    experiment_names,
+    get_experiment,
+    register_experiment,
+    run_experiment,
+)
 
 __all__ = [
+    "ExperimentSpec",
+    "experiment_names",
+    "get_experiment",
+    "register_experiment",
+    "run_experiment",
     "SweepEngine",
     "SweepResult",
     "SweepRow",

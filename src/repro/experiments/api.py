@@ -1,0 +1,201 @@
+"""Unified experiment API: one registry, one entry point.
+
+Every headline experiment of the reproduction registers an
+:class:`ExperimentSpec` here, and :func:`run_experiment` is the single
+facade over all of them::
+
+    from repro.experiments.api import run_experiment
+
+    fig5 = run_experiment("figure5", scale=0.2, workers=4,
+                          checkpoint="fig5.jsonl", resume=True)
+    print(fig5.render())
+
+The facade normalizes the options that repeat across experiments —
+``benchmarks``, ``machine``, ``scale``, ``checkpoint``/``resume``,
+``isolate``, ``workers`` — and rejects, with a clear error, any option
+an experiment does not support (``table4`` has no ``checkpoint``;
+``lru_study`` has no ``workers``) instead of silently dropping it.
+Experiment-specific extras (``scenarios`` for table4, ``window`` for
+the fence study, ...) pass through as keyword arguments.
+
+The per-experiment ``run_*`` functions remain available and unchanged
+for existing callers; they are the registered runners.  New code —
+including the ``repro`` CLI — should go through this module.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+from ..params import MachineParams
+from .fence_study import run_fence_study
+from .figure5 import run_figure5
+from .lru_study import run_lru_study
+from .table4 import run_table4
+from .table5 import run_table5
+from .table6 import run_table6
+
+__all__ = [
+    "ExperimentSpec",
+    "experiment_names",
+    "get_experiment",
+    "register_experiment",
+    "run_experiment",
+]
+
+#: The unified options every spec declares support for (or not).
+UNIFIED_OPTIONS = (
+    "benchmarks", "machine", "scale", "checkpoint", "resume",
+    "isolate", "workers",
+)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment: the runner plus what it supports."""
+
+    name: str
+    runner: Callable[..., Any]
+    description: str
+    #: Unified option names the runner accepts as keywords.
+    supports: Tuple[str, ...] = ()
+    #: Experiment-specific keyword arguments (documented passthrough).
+    extras: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        unknown = set(self.supports) - set(UNIFIED_OPTIONS)
+        if unknown:
+            raise ConfigError(
+                f"experiment '{self.name}': unknown unified options "
+                f"{sorted(unknown)}"
+            )
+
+
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def register_experiment(spec: ExperimentSpec) -> ExperimentSpec:
+    """Add (or replace) a spec in the registry."""
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def experiment_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown experiment '{name}'; available: "
+            f"{', '.join(experiment_names())}"
+        ) from None
+
+
+def run_experiment(
+    name: str,
+    *,
+    benchmarks: Optional[Sequence[str]] = None,
+    machine: Optional[MachineParams] = None,
+    scale: Optional[float] = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    isolate: bool = False,
+    workers: int = 1,
+    **extras: Any,
+) -> Any:
+    """Run the named experiment and return its result object.
+
+    Only options actually given (non-default) are forwarded, so every
+    experiment keeps its own defaults (e.g. the fence study's
+    ``scale=0.3``).  Giving an option the experiment does not support
+    raises :class:`~repro.errors.ConfigError` naming the option — a
+    typo or a misplaced flag never silently changes what runs.
+    """
+    spec = get_experiment(name)
+    requested: Dict[str, Any] = {}
+    if benchmarks is not None:
+        requested["benchmarks"] = list(benchmarks)
+    if machine is not None:
+        requested["machine"] = machine
+    if scale is not None:
+        requested["scale"] = scale
+    if checkpoint is not None:
+        requested["checkpoint"] = checkpoint
+    if resume:
+        requested["resume"] = resume
+    if isolate:
+        requested["isolate"] = isolate
+    if workers != 1:
+        requested["workers"] = workers
+
+    unsupported = [key for key in requested if key not in spec.supports]
+    if unsupported:
+        raise ConfigError(
+            f"experiment '{name}' does not support "
+            f"option(s) {', '.join(sorted(unsupported))}; it supports: "
+            f"{', '.join(spec.supports) or '(none)'}"
+        )
+    unknown_extras = [key for key in extras if key not in spec.extras]
+    if unknown_extras:
+        raise ConfigError(
+            f"experiment '{name}' has no option(s) "
+            f"{', '.join(sorted(unknown_extras))}; extras: "
+            f"{', '.join(spec.extras) or '(none)'}"
+        )
+    return spec.runner(**requested, **extras)
+
+
+# ---------------------------------------------------------------------------
+# The built-in experiments
+# ---------------------------------------------------------------------------
+
+register_experiment(ExperimentSpec(
+    name="figure5",
+    runner=run_figure5,
+    description="Figure 5: normalized runtime of the four modes over "
+                "the SPEC suite",
+    supports=("benchmarks", "machine", "scale", "checkpoint", "resume",
+              "workers"),
+))
+register_experiment(ExperimentSpec(
+    name="table4",
+    runner=run_table4,
+    description="Table IV: security analysis across attack scenarios",
+    supports=("machine", "isolate"),
+    extras=("scenarios",),
+))
+register_experiment(ExperimentSpec(
+    name="table5",
+    runner=run_table5,
+    description="Table V: filter analysis (blocked rates, S-Pattern "
+                "mismatch)",
+    supports=("benchmarks", "machine", "scale", "checkpoint", "resume",
+              "workers"),
+))
+register_experiment(ExperimentSpec(
+    name="table6",
+    runner=run_table6,
+    description="Table VI: overhead sensitivity to core complexity",
+    supports=("benchmarks", "scale", "isolate"),
+    extras=("machines",),
+))
+register_experiment(ExperimentSpec(
+    name="fence_study",
+    runner=run_fence_study,
+    description="Fence placement study: mitigation columns over "
+                "gadgets + SPEC-like workloads",
+    supports=("benchmarks", "machine", "scale"),
+    extras=("gadgets", "window", "max_cycles"),
+))
+register_experiment(ExperimentSpec(
+    name="lru_study",
+    runner=run_lru_study,
+    description="Section VII.A: speculative LRU update policy "
+                "comparison",
+    supports=("benchmarks", "machine", "scale"),
+    extras=("include_stress",),
+))

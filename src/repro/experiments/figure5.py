@@ -86,15 +86,18 @@ def run_figure5(
     scale: float = 1.0,
     checkpoint: Optional[str] = None,
     resume: bool = False,
+    workers: int = 1,
 ) -> Figure5Result:
     """Regenerate Figure 5 (normalized runtime, 4 modes x suite).
 
     With ``checkpoint`` the per-(benchmark, mode) runs stream through a
     :class:`~repro.experiments.runner.SweepEngine`, so an interrupted
-    regeneration picks up where it left off with ``resume=True``.
+    regeneration picks up where it left off with ``resume=True``;
+    ``workers > 1`` fans the runs across a process pool (also via the
+    engine), with identical results.
     """
     result = Figure5Result()
-    if checkpoint is None and not resume:
+    if checkpoint is None and not resume and workers <= 1:
         for name in benchmarks or spec_names():
             reports = run_modes(name, machine=machine, scale=scale)
             result.rows.append(Figure5Row(
@@ -106,7 +109,8 @@ def run_figure5(
 
     engine = SweepEngine(benchmarks=list(benchmarks or spec_names()),
                          machine=machine, scale=scale,
-                         checkpoint=checkpoint, resume=resume)
+                         checkpoint=checkpoint, resume=resume,
+                         workers=workers)
     sweep = engine.run()
     for name in engine.benchmarks:
         reports = sweep.reports_for(name)

@@ -24,7 +24,12 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.policy import EVALUATION_MODES, ProtectionMode, SecurityConfig
 from ..errors import SimulationError
-from ..params import DEFAULT_MAX_CYCLES, MachineParams, paper_config
+from ..params import (
+    DEFAULT_MAX_CYCLES,
+    MachineParams,
+    RunOptions,
+    paper_config,
+)
 from ..pipeline.processor import Processor
 from ..pipeline.report import SimReport
 from ..robustness.checkpoint import CheckpointStore
@@ -41,6 +46,8 @@ __all__ = [
     "SweepEngine",
     "SweepResult",
     "SweepRow",
+    "SweepTask",
+    "execute_sweep_task",
 ]
 
 
@@ -49,18 +56,26 @@ def run_benchmark(
     machine: Optional[MachineParams] = None,
     security: Optional[SecurityConfig] = None,
     scale: float = 1.0,
-    max_cycles: int = DEFAULT_MAX_CYCLES,
+    max_cycles: Optional[int] = None,
     wall_clock_budget: Optional[float] = None,
     fault_plan: Optional[FaultPlan] = None,
+    options: Optional[RunOptions] = None,
 ) -> SimReport:
-    """Simulate one SPEC profile under one configuration."""
+    """Simulate one SPEC profile under one configuration.
+
+    Budgets and fault plan may be given as the legacy keyword triplet
+    or bundled as ``options`` (:class:`repro.params.RunOptions`);
+    explicit keywords win.
+    """
     machine = machine if machine is not None else paper_config()
     security = security if security is not None else SecurityConfig.origin()
+    resolved = RunOptions.coerce(options, max_cycles=max_cycles,
+                                 wall_clock_budget=wall_clock_budget,
+                                 fault_plan=fault_plan)
     program = spec_program(name, scale=scale)
     cpu = Processor(program, machine=machine, security=security,
-                    fault_plan=fault_plan)
-    report = cpu.run(max_cycles=max_cycles,
-                     wall_clock_budget=wall_clock_budget)
+                    options=resolved)
+    report = cpu.run()
     report.name = name
     return report
 
@@ -70,12 +85,13 @@ def run_modes(
     machine: Optional[MachineParams] = None,
     modes: Sequence[ProtectionMode] = EVALUATION_MODES,
     scale: float = 1.0,
+    options: Optional[RunOptions] = None,
 ) -> Dict[ProtectionMode, SimReport]:
     """Simulate one benchmark under several protection modes."""
     return {
         mode: run_benchmark(
             name, machine=machine, security=SecurityConfig(mode=mode),
-            scale=scale,
+            scale=scale, options=options,
         )
         for mode in modes
     }
@@ -128,6 +144,72 @@ def average(values: Iterable[float]) -> float:
 
 #: Signature run_fn must satisfy (run_benchmark is the default).
 RunFn = Callable[..., SimReport]
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """Spawn-safe description of one (benchmark, mode) run.
+
+    Everything here pickles cleanly, so the same payload drives the
+    in-process serial path and the
+    :class:`repro.perf.parallel.ParallelSweepExecutor` worker
+    processes — serial and parallel sweeps execute literally the same
+    code on the same inputs, which is what makes them byte-identical.
+    """
+
+    benchmark: str
+    mode: ProtectionMode
+    machine: Optional[MachineParams] = None
+    scale: float = 1.0
+    options: RunOptions = RunOptions()
+    retries: int = 2
+    backoff: float = 0.25
+    run_fn: RunFn = run_benchmark
+
+
+def execute_sweep_task(task: SweepTask) -> SweepRow:
+    """Run one sweep task to a finished :class:`SweepRow`.
+
+    Transient :class:`SimulationError` failures retry up to
+    ``task.retries`` times with exponential backoff; a run that still
+    fails degrades to a ``status="failed"`` row instead of raising, so
+    one workload can never abort a suite (failure isolation).  Used
+    directly by the serial engine and as the worker entry point of the
+    parallel executor.
+    """
+    attempts = 0
+    started = time.monotonic()
+    while True:
+        attempts += 1
+        try:
+            report = task.run_fn(
+                task.benchmark,
+                machine=task.machine,
+                security=SecurityConfig(mode=task.mode),
+                scale=task.scale,
+                options=task.options,
+            )
+        except SimulationError as exc:
+            if attempts <= task.retries:
+                time.sleep(task.backoff * (2 ** (attempts - 1)))
+                continue
+            return SweepRow(
+                benchmark=task.benchmark, mode=task.mode, status="failed",
+                termination=getattr(
+                    getattr(exc, "report", None), "termination", ""),
+                attempts=attempts,
+                duration_s=time.monotonic() - started,
+                error_type=type(exc).__name__,
+                error=str(exc).splitlines()[0] if str(exc) else "",
+            )
+        return SweepRow(
+            benchmark=task.benchmark, mode=task.mode, status="ok",
+            termination=report.termination,
+            cycles=report.cycles, committed=report.committed,
+            attempts=attempts,
+            duration_s=time.monotonic() - started,
+            report=report,
+        )
 
 
 @dataclass
@@ -265,6 +347,15 @@ class SweepEngine:
     without re-running recorded pairs.  A failing workload is retried
     ``retries`` times with exponential backoff (``backoff * 2**n``
     seconds) and then recorded as a failure row; the sweep carries on.
+
+    With ``workers > 1`` the pending pairs fan out across a process
+    pool (:class:`repro.perf.parallel.ParallelSweepExecutor`).  The
+    parent process stays the *single writer* of the checkpoint file —
+    workers only ever return rows — so crash-safety, ``resume``
+    skipping, per-task retry/backoff and failure isolation behave
+    exactly as in the serial engine, and the recorded rows are
+    identical (simulations are deterministic; only ``duration_s``
+    differs).
     """
 
     def __init__(
@@ -281,21 +372,40 @@ class SweepEngine:
         wall_clock_budget: Optional[float] = None,
         fault_plan: Optional[FaultPlan] = None,
         run_fn: Optional[RunFn] = None,
+        workers: int = 1,
+        options: Optional[RunOptions] = None,
     ) -> None:
         self.benchmarks = list(benchmarks) if benchmarks is not None \
             else spec_names()
         self.modes = list(modes)
         self.machine = machine
         self.scale = scale
-        self.max_cycles = max_cycles if max_cycles is not None \
-            else DEFAULT_MAX_CYCLES
+        self.options = RunOptions.coerce(
+            options, max_cycles=max_cycles,
+            wall_clock_budget=wall_clock_budget, fault_plan=fault_plan,
+        )
+        if self.options.max_cycles is None:
+            self.options = self.options.merged(max_cycles=DEFAULT_MAX_CYCLES)
         self.checkpoint = checkpoint
         self.resume = resume
         self.retries = max(0, retries)
         self.backoff = max(0.0, backoff)
-        self.wall_clock_budget = wall_clock_budget
-        self.fault_plan = fault_plan
         self.run_fn: RunFn = run_fn if run_fn is not None else run_benchmark
+        self.workers = max(1, workers)
+
+    # ---- legacy views of the bundled options -----------------------------
+
+    @property
+    def max_cycles(self) -> int:
+        return self.options.effective_max_cycles
+
+    @property
+    def wall_clock_budget(self) -> Optional[float]:
+        return self.options.wall_clock_budget
+
+    @property
+    def fault_plan(self) -> Optional[FaultPlan]:
+        return self.options.fault_plan
 
     # ---- plumbing --------------------------------------------------------
 
@@ -320,42 +430,19 @@ class SweepEngine:
             return None
         return self.fault_plan.derive(f"{benchmark}/{mode.value}")
 
+    def task_for(self, benchmark: str, mode: ProtectionMode) -> SweepTask:
+        """The spawn-safe payload for one pair (shared by both paths)."""
+        return SweepTask(
+            benchmark=benchmark, mode=mode, machine=self.machine,
+            scale=self.scale,
+            options=self.options.merged(
+                fault_plan=self._plan_for(benchmark, mode)),
+            retries=self.retries, backoff=self.backoff,
+            run_fn=self.run_fn,
+        )
+
     def _run_one(self, benchmark: str, mode: ProtectionMode) -> SweepRow:
-        attempts = 0
-        started = time.monotonic()
-        while True:
-            attempts += 1
-            try:
-                report = self.run_fn(
-                    benchmark,
-                    machine=self.machine,
-                    security=SecurityConfig(mode=mode),
-                    scale=self.scale,
-                    max_cycles=self.max_cycles,
-                    wall_clock_budget=self.wall_clock_budget,
-                    fault_plan=self._plan_for(benchmark, mode),
-                )
-            except SimulationError as exc:
-                if attempts <= self.retries:
-                    time.sleep(self.backoff * (2 ** (attempts - 1)))
-                    continue
-                return SweepRow(
-                    benchmark=benchmark, mode=mode, status="failed",
-                    termination=getattr(
-                        getattr(exc, "report", None), "termination", ""),
-                    attempts=attempts,
-                    duration_s=time.monotonic() - started,
-                    error_type=type(exc).__name__,
-                    error=str(exc).splitlines()[0] if str(exc) else "",
-                )
-            return SweepRow(
-                benchmark=benchmark, mode=mode, status="ok",
-                termination=report.termination,
-                cycles=report.cycles, committed=report.committed,
-                attempts=attempts,
-                duration_s=time.monotonic() - started,
-                report=report,
-            )
+        return execute_sweep_task(self.task_for(benchmark, mode))
 
     # ---- the sweep -------------------------------------------------------
 
@@ -365,26 +452,72 @@ class SweepEngine:
             if self.checkpoint else None
         done: Dict[str, SweepRow] = {}
         if store is not None:
-            if self.resume and store.exists():
-                _header, records = store.load()
-                for key, record in records.items():
-                    try:
-                        done[key] = SweepRow.from_record(record)
-                    except (ValueError, KeyError):
-                        continue  # unreadable row: just re-run the pair
-            else:
-                store.reset(self._config())
-
-        result = SweepResult(rows=[], checkpoint_path=self.checkpoint)
-        for benchmark, mode in self.tasks():
-            key = CheckpointStore.task_key(benchmark, mode.value)
-            if key in done:
-                result.rows.append(done[key])
-                continue
-            row = self._run_one(benchmark, mode)
+            store.acquire_writer()
+        try:
             if store is not None:
-                store.append(key, row.to_record())
-            result.rows.append(row)
-            if progress is not None:
-                progress(row)
-        return result
+                if self.resume and store.exists():
+                    _header, records = store.load()
+                    for key, record in records.items():
+                        try:
+                            done[key] = SweepRow.from_record(record)
+                        except (ValueError, KeyError):
+                            continue  # unreadable row: re-run the pair
+                else:
+                    store.reset(self._config())
+
+            result = SweepResult(rows=[], checkpoint_path=self.checkpoint)
+            pending: List[Tuple[int, str, ProtectionMode]] = []
+            slots: List[Optional[SweepRow]] = []
+            for benchmark, mode in self.tasks():
+                key = CheckpointStore.task_key(benchmark, mode.value)
+                if key in done:
+                    slots.append(done[key])
+                else:
+                    pending.append((len(slots), benchmark, mode))
+                    slots.append(None)
+
+            if self.workers > 1 and pending:
+                self._run_parallel(pending, slots, store, progress)
+            else:
+                for index, benchmark, mode in pending:
+                    row = self._run_one(benchmark, mode)
+                    self._record(row, index, slots, store, progress)
+            result.rows = [row for row in slots if row is not None]
+            return result
+        finally:
+            if store is not None:
+                store.release_writer()
+
+    def _record(
+        self,
+        row: SweepRow,
+        index: int,
+        slots: List[Optional[SweepRow]],
+        store: Optional[CheckpointStore],
+        progress: Optional[Callable[[SweepRow], None]],
+    ) -> None:
+        """Single-writer completion path (parent process only): durably
+        checkpoint the row, slot it into task order, report progress."""
+        if store is not None:
+            store.append(
+                CheckpointStore.task_key(row.benchmark, row.mode.value),
+                row.to_record(),
+            )
+        slots[index] = row
+        if progress is not None:
+            progress(row)
+
+    def _run_parallel(
+        self,
+        pending: List[Tuple[int, str, ProtectionMode]],
+        slots: List[Optional[SweepRow]],
+        store: Optional[CheckpointStore],
+        progress: Optional[Callable[[SweepRow], None]],
+    ) -> None:
+        from ..perf.parallel import ParallelSweepExecutor
+
+        executor = ParallelSweepExecutor(workers=self.workers)
+        tasks = [(index, self.task_for(benchmark, mode))
+                 for index, benchmark, mode in pending]
+        for index, row in executor.map_tasks(tasks):
+            self._record(row, index, slots, store, progress)

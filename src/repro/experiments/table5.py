@@ -73,14 +73,16 @@ def run_table5(
     scale: float = 1.0,
     checkpoint: Optional[str] = None,
     resume: bool = False,
+    workers: int = 1,
 ) -> Table5Result:
-    """Regenerate Table V (checkpoint/resume as in
+    """Regenerate Table V (checkpoint/resume/workers as in
     :func:`~repro.experiments.figure5.run_figure5`)."""
     sweep = None
-    if checkpoint is not None or resume:
+    if checkpoint is not None or resume or workers > 1:
         engine = SweepEngine(benchmarks=list(benchmarks or spec_names()),
                              machine=machine, scale=scale,
-                             checkpoint=checkpoint, resume=resume)
+                             checkpoint=checkpoint, resume=resume,
+                             workers=workers)
         sweep = engine.run()
         benchmarks = engine.benchmarks
 

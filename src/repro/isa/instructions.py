@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum, auto
-from typing import Optional, Tuple
+from typing import Tuple
 
 INSTRUCTION_BYTES = 4
 WORD_BYTES = 8
@@ -100,6 +100,24 @@ for _op in _COND_BRANCHES:
 for _op in _REG_REG_ALU | _REG_IMM_ALU | {Opcode.LI}:
     _OPCLASS[_op] = OpClass.ALU
 
+# Per-opcode classification, precomputed once.  Every flag below is a
+# pure function of the opcode, so instructions can cache them as plain
+# attributes at construction time instead of re-deriving them through
+# properties on the simulator hot path (is_serializing/is_store alone
+# are consulted millions of times per run).
+_HAS_DEST = {
+    op: (op in _REG_REG_ALU or op in _REG_IMM_ALU
+         or op in (Opcode.LI, Opcode.LOAD, Opcode.RDCYCLE, Opcode.CALL))
+    for op in Opcode
+}
+# Source-register pattern: 0 = none, 1 = (rs1,), 2 = (rs1, rs2).
+_SRC_PATTERN = {op: 0 for op in Opcode}
+for _op in (_REG_IMM_ALU | {Opcode.LOAD, Opcode.CLFLUSH,
+                            Opcode.JMPI, Opcode.RET}):
+    _SRC_PATTERN[_op] = 1
+for _op in (_REG_REG_ALU | _COND_BRANCHES | {Opcode.STORE}):
+    _SRC_PATTERN[_op] = 2
+
 
 @dataclass(frozen=True)
 class Instruction:
@@ -127,86 +145,56 @@ class Instruction:
     # Optional label carried for diagnostics / disassembly.
     note: str = ""
 
-    # ---- classification ------------------------------------------------
+    # ---- classification / register usage -------------------------------
+    #
+    # All of these are pure functions of ``op`` (plus rd/rs1/rs2 for
+    # dest/sources), cached as plain instance attributes by
+    # ``__post_init__`` because the simulator hot path reads them
+    # millions of times per run:
+    #
+    # - ``opclass`` — coarse class (the paper distinguishes MEMORY and
+    #   BRANCH)
+    # - ``is_load`` / ``is_store`` / ``is_flush``
+    # - ``is_memory`` — memory instruction in the sense of the security
+    #   dependence matrix formula (loads, stores and line flushes)
+    # - ``is_branch`` / ``is_conditional_branch`` / ``is_indirect`` /
+    #   ``is_call`` / ``is_return``
+    # - ``is_serializing`` — issues only from the head of the ROB
+    #   (FENCE, RDCYCLE)
+    # - ``dest`` — destination architectural register or None (R0
+    #   writes are discarded by the core, but still rename for
+    #   simplicity)
+    # - ``sources`` — architectural source registers, in operand order
+    #
+    # They are intentionally NOT dataclass fields: equality, hashing,
+    # repr and pickling still consider only the encoding fields above.
 
-    @property
-    def opclass(self) -> OpClass:
-        return _OPCLASS[self.op]
-
-    @property
-    def is_load(self) -> bool:
-        return self.op is Opcode.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.op is Opcode.STORE
-
-    @property
-    def is_flush(self) -> bool:
-        return self.op is Opcode.CLFLUSH
-
-    @property
-    def is_memory(self) -> bool:
-        """Memory instruction in the sense of the security dependence
-        matrix formula (loads, stores and line flushes)."""
-        return self.op in (Opcode.LOAD, Opcode.STORE, Opcode.CLFLUSH)
-
-    @property
-    def is_branch(self) -> bool:
-        return self.opclass is OpClass.BRANCH
-
-    @property
-    def is_conditional_branch(self) -> bool:
-        return self.op in _COND_BRANCHES
-
-    @property
-    def is_indirect(self) -> bool:
-        return self.op in (Opcode.JMPI, Opcode.RET)
-
-    @property
-    def is_call(self) -> bool:
-        return self.op is Opcode.CALL
-
-    @property
-    def is_return(self) -> bool:
-        return self.op is Opcode.RET
-
-    @property
-    def is_serializing(self) -> bool:
-        """Instructions that only issue from the head of the ROB."""
-        return self.op in (Opcode.FENCE, Opcode.RDCYCLE)
-
-    # ---- register usage ------------------------------------------------
-
-    @property
-    def dest(self) -> Optional[int]:
-        """Destination architectural register, if any (R0 writes are
-        discarded by the core, but still rename for simplicity)."""
-        if self.op in _REG_REG_ALU or self.op in _REG_IMM_ALU:
-            return self.rd
-        if self.op in (Opcode.LI, Opcode.LOAD, Opcode.RDCYCLE,
-                       Opcode.CALL):
-            return self.rd
-        return None
-
-    @property
-    def sources(self) -> Tuple[int, ...]:
-        """Architectural source registers, in operand order."""
-        if self.op in _REG_REG_ALU:
-            return (self.rs1, self.rs2)
-        if self.op in _REG_IMM_ALU:
-            return (self.rs1,)
-        if self.op is Opcode.LOAD:
-            return (self.rs1,)
-        if self.op is Opcode.STORE:
-            return (self.rs1, self.rs2)
-        if self.op is Opcode.CLFLUSH:
-            return (self.rs1,)
-        if self.op in _COND_BRANCHES:
-            return (self.rs1, self.rs2)
-        if self.op in (Opcode.JMPI, Opcode.RET):
-            return (self.rs1,)
-        return ()
+    def __post_init__(self) -> None:
+        op = self.op
+        put = object.__setattr__
+        put(self, "opclass", _OPCLASS[op])
+        put(self, "is_load", op is Opcode.LOAD)
+        put(self, "is_store", op is Opcode.STORE)
+        put(self, "is_flush", op is Opcode.CLFLUSH)
+        put(self, "is_memory",
+            op is Opcode.LOAD or op is Opcode.STORE
+            or op is Opcode.CLFLUSH)
+        put(self, "is_branch", _OPCLASS[op] is OpClass.BRANCH)
+        put(self, "is_conditional_branch", op in _COND_BRANCHES)
+        put(self, "is_indirect", op is Opcode.JMPI or op is Opcode.RET)
+        put(self, "is_call", op is Opcode.CALL)
+        put(self, "is_return", op is Opcode.RET)
+        put(self, "is_serializing",
+            op is Opcode.FENCE or op is Opcode.RDCYCLE)
+        put(self, "dest", self.rd if _HAS_DEST[op] else None)
+        pattern = _SRC_PATTERN[op]
+        if pattern == 2:
+            sources: Tuple[int, ...] = (self.rs1, self.rs2)
+        elif pattern == 1:
+            sources = (self.rs1,)
+        else:
+            sources = ()
+        put(self, "sources", sources)
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         parts = [self.op.name.lower()]

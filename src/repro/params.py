@@ -7,13 +7,88 @@ sensitivity study of Table VI (Section VI.D).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Optional
 
 from .errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotations only)
+    from .robustness.faults import FaultPlan
 
 #: Default simulation cycle budget, shared by :meth:`Processor.run`,
 #: the experiment runner and the CLI so a benchmark behaves the same
 #: no matter which entry point launched it.
 DEFAULT_MAX_CYCLES = 8_000_000
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Execution budgets and perturbations for one simulation run.
+
+    The same triplet — cycle budget, wall-clock budget, fault plan —
+    used to be threaded as three separate keyword arguments through
+    :meth:`repro.pipeline.processor.Processor.run`,
+    :func:`repro.experiments.runner.run_benchmark`,
+    :func:`repro.experiments.runner.run_modes` and
+    :class:`repro.experiments.runner.SweepEngine`.  ``RunOptions``
+    bundles them; every one of those entry points accepts
+    ``options=RunOptions(...)`` while still honoring the old keywords
+    (an explicit old-style keyword overrides the corresponding
+    ``RunOptions`` field).
+    """
+
+    #: Cycle budget; ``None`` means :data:`DEFAULT_MAX_CYCLES`.
+    max_cycles: Optional[int] = None
+    #: Wall-clock budget in seconds (polled coarsely); ``None`` = none.
+    wall_clock_budget: Optional[float] = None
+    #: Fault-injection plan (see :mod:`repro.robustness.faults`).
+    fault_plan: Optional["FaultPlan"] = None
+
+    def __post_init__(self) -> None:
+        if self.max_cycles is not None and self.max_cycles <= 0:
+            raise ConfigError("max_cycles must be positive")
+        if self.wall_clock_budget is not None \
+                and self.wall_clock_budget <= 0:
+            raise ConfigError("wall_clock_budget must be positive")
+
+    @property
+    def effective_max_cycles(self) -> int:
+        return self.max_cycles if self.max_cycles is not None \
+            else DEFAULT_MAX_CYCLES
+
+    def merged(
+        self,
+        max_cycles: Optional[int] = None,
+        wall_clock_budget: Optional[float] = None,
+        fault_plan: Optional["FaultPlan"] = None,
+    ) -> "RunOptions":
+        """A copy with any explicitly-given legacy keyword overriding
+        the corresponding field (the old-keywords-win rule)."""
+        if max_cycles is None and wall_clock_budget is None \
+                and fault_plan is None:
+            return self
+        return RunOptions(
+            max_cycles=max_cycles if max_cycles is not None
+            else self.max_cycles,
+            wall_clock_budget=wall_clock_budget
+            if wall_clock_budget is not None else self.wall_clock_budget,
+            fault_plan=fault_plan if fault_plan is not None
+            else self.fault_plan,
+        )
+
+    @classmethod
+    def coerce(
+        cls,
+        options: Optional["RunOptions"],
+        max_cycles: Optional[int] = None,
+        wall_clock_budget: Optional[float] = None,
+        fault_plan: Optional["FaultPlan"] = None,
+    ) -> "RunOptions":
+        """Resolve the ``options``-plus-legacy-keywords calling
+        convention into one :class:`RunOptions`."""
+        base = options if options is not None else cls()
+        return base.merged(max_cycles=max_cycles,
+                           wall_clock_budget=wall_clock_budget,
+                           fault_plan=fault_plan)
 
 
 def _power_of_two(value: int) -> bool:

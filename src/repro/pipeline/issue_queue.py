@@ -11,6 +11,12 @@ Loads keep their slot until they *complete* so that a load blocked by a
 hazard filter can wait in the queue and re-issue once its security
 dependence clears, as Section V.C requires; every other instruction
 frees its slot at issue.
+
+The producer masks consumed by the matrix formula (valid & !issued &
+memory-or-branch) are maintained *incrementally* as bit vectors updated
+at insert/issue/release, so dispatch reads them in O(1) instead of
+re-scanning every slot — one of the simulator hot-path optimizations
+documented in ``docs/performance.md``.
 """
 from __future__ import annotations
 
@@ -29,6 +35,12 @@ class IssueQueue:
         self._free: List[int] = list(range(entries - 1, -1, -1))
         self._issued: List[bool] = [False] * entries
         self._deferred_free: List[int] = []
+        # Incremental views of the slots: bit ``pos`` set iff the slot
+        # holds a valid, not-yet-issued memory-or-branch (respectively
+        # branch) instruction.  Kept in lockstep by insert/set_issued/
+        # release; read by the matrix formula every dispatch.
+        self._producer_bits = 0
+        self._branch_bits = 0
         self.matrix = SecurityDependenceMatrix(entries)
 
     # ---- occupancy -----------------------------------------------------
@@ -53,24 +65,12 @@ class IssueQueue:
     def producer_mask(self) -> int:
         """Bit vector of slots holding valid, not-yet-issued memory or
         branch instructions - the Y-side of the matrix formula."""
-        mask = 0
-        for pos, inst in enumerate(self._slots):
-            if inst is None or self._issued[pos]:
-                continue
-            if inst.instr.is_memory or inst.instr.is_branch:
-                mask |= 1 << pos
-        return mask
+        return self._producer_bits
 
     def branch_producer_mask(self) -> int:
         """Producer mask restricted to branches (the branch-only matrix
         ablation of Section VI.C(1))."""
-        mask = 0
-        for pos, inst in enumerate(self._slots):
-            if inst is None or self._issued[pos]:
-                continue
-            if inst.instr.is_branch:
-                mask |= 1 << pos
-        return mask
+        return self._branch_bits
 
     def insert(self, inst: DynInst, producer_mask: int) -> int:
         """Allocate a slot for ``inst`` and install its matrix row."""
@@ -78,10 +78,25 @@ class IssueQueue:
         self._slots[pos] = inst
         self._issued[pos] = False
         inst.iq_pos = pos
-        self.matrix.set_row(pos, producer_mask if inst.instr.is_memory else 0)
+        instr = inst.instr
+        if instr.is_branch:
+            self._producer_bits |= 1 << pos
+            self._branch_bits |= 1 << pos
+        elif instr.is_memory:
+            self._producer_bits |= 1 << pos
+        self.matrix.set_row(pos, producer_mask if instr.is_memory else 0)
         return pos
 
     # ---- issue ----------------------------------------------------------------
+
+    def set_issued(self, pos: int) -> None:
+        """Mark the slot issued *without* staging its column clear or
+        freeing it (the clear-on-resolve ablation defers clearance to
+        branch resolution / load completion)."""
+        self._issued[pos] = True
+        keep = ~(1 << pos)
+        self._producer_bits &= keep
+        self._branch_bits &= keep
 
     def mark_issued(self, inst: DynInst) -> None:
         """Record issue: stage the matrix-column clear (Update Vector
@@ -89,7 +104,7 @@ class IssueQueue:
         (loads stay resident for possible filter-blocked re-issue)."""
         pos = inst.iq_pos
         assert pos is not None
-        self._issued[pos] = True
+        self.set_issued(pos)
         self.matrix.schedule_clear(pos)
         if not inst.instr.is_load:
             self.release(inst)
@@ -117,6 +132,9 @@ class IssueQueue:
         assert self._slots[pos] is inst
         self._slots[pos] = None
         self._issued[pos] = False
+        keep = ~(1 << pos)
+        self._producer_bits &= keep
+        self._branch_bits &= keep
         self.matrix.schedule_clear(pos)
         self._deferred_free.append(pos)
         inst.iq_pos = None
@@ -125,7 +143,8 @@ class IssueQueue:
         """Apply staged matrix column clears (next-cycle semantics) and
         recycle the slots released this cycle."""
         self.matrix.apply_clears()
-        for pos in self._deferred_free:
-            self.matrix.clear_entry(pos)
-            self._free.append(pos)
-        self._deferred_free.clear()
+        if self._deferred_free:
+            for pos in self._deferred_free:
+                self.matrix.clear_entry(pos)
+                self._free.append(pos)
+            self._deferred_free.clear()

@@ -25,6 +25,7 @@ Fidelity notes (also in DESIGN.md):
 """
 from __future__ import annotations
 
+import operator
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -49,7 +50,12 @@ from ..isa.program import InstructionMemory, Program
 from ..memory.hierarchy import MemoryHierarchy
 from ..memory.replacement import SpeculativeLRUPolicy
 from ..memory.tlb import TLB, PageTable
-from ..params import DEFAULT_MAX_CYCLES, MachineParams, paper_config
+from ..params import (
+    DEFAULT_MAX_CYCLES,
+    MachineParams,
+    RunOptions,
+    paper_config,
+)
 from ..robustness.faults import FaultInjector, FaultPlan
 from ..robustness.watchdog import (
     DEFAULT_WATCHDOG_CYCLES,
@@ -68,6 +74,8 @@ from .rob import ReorderBuffer
 from .store_buffer import StoreBuffer
 
 _WORD_ALIGN = ~(WORD_BYTES - 1)
+#: Age-order sort key for the issue select (hot path).
+_SEQ_KEY = operator.attrgetter("seq")
 _AGU_LATENCY = 1
 #: Forwarded loads complete with L1-hit-like latency.
 _FORWARD_LATENCY = 2
@@ -100,6 +108,7 @@ class Processor:
         check_invariants: bool = False,
         fault_plan: Optional[Union[FaultPlan, FaultInjector]] = None,
         watchdog_cycles: int = DEFAULT_WATCHDOG_CYCLES,
+        options: Optional[RunOptions] = None,
     ) -> None:
         self.machine = machine or paper_config()
         self.security = security or SecurityConfig.origin()
@@ -173,8 +182,15 @@ class Processor:
         #: Debug flag: run the structural invariant lint every cycle
         #: (see :mod:`repro.pipeline.invariants`).
         self.check_invariants = check_invariants
+        #: Bundled budgets/fault plan (see :class:`repro.params.
+        #: RunOptions`); ``run()`` falls back to these when called
+        #: without explicit budget keywords.
+        self.options = options if options is not None else RunOptions()
         #: Fault injection (see :mod:`repro.robustness.faults`); a
         #: pre-built injector may be passed for custom fault models.
+        #: The legacy ``fault_plan`` keyword wins over ``options``.
+        if fault_plan is None:
+            fault_plan = self.options.fault_plan
         if fault_plan is None:
             self.faults: Optional[FaultInjector] = None
         elif isinstance(fault_plan, FaultInjector):
@@ -195,19 +211,28 @@ class Processor:
         max_cycles: Optional[int] = None,
         wall_clock_budget: Optional[float] = None,
         raise_on_budget: bool = False,
+        options: Optional[RunOptions] = None,
     ) -> SimReport:
         """Simulate until HALT commits or a budget runs out.
 
         ``max_cycles`` defaults to :data:`repro.params.DEFAULT_MAX_CYCLES`;
-        ``wall_clock_budget`` is in seconds and polled coarsely.  When a
-        budget expires the run terminates and the report's
+        ``wall_clock_budget`` is in seconds and polled coarsely.  The
+        budgets may also arrive bundled as ``options``
+        (:class:`repro.params.RunOptions`, here or at construction);
+        an explicit keyword always wins.  When a budget expires the run
+        terminates and the report's
         :attr:`~repro.pipeline.report.SimReport.termination` records
         which budget did; with ``raise_on_budget`` a
         :class:`~repro.errors.CycleBudgetExceeded` (carrying the report)
         is raised instead of returning quietly.
         """
-        if max_cycles is None:
-            max_cycles = DEFAULT_MAX_CYCLES
+        resolved = RunOptions.coerce(
+            options if options is not None else self.options,
+            max_cycles=max_cycles,
+            wall_clock_budget=wall_clock_budget,
+        )
+        max_cycles = resolved.effective_max_cycles
+        wall_clock_budget = resolved.wall_clock_budget
         deadline = None
         if wall_clock_budget is not None:
             deadline = time.monotonic() + wall_clock_budget
@@ -405,11 +430,18 @@ class Processor:
     # ------------------------------------------------------------------
 
     def _issue(self) -> None:
+        # The issue loop dominates simulation time, so locals are
+        # hoisted and the readiness / security-dependence checks are
+        # inlined rather than going through RenameState.is_ready /
+        # IssueQueue.has_security_dependence per instruction.
         eligible: List[DynInst] = []
         barrier = self._barrier_seqs[0] if self._barrier_seqs else None
         baseline = self.security.mode.blocks_at_issue
-        for inst in self.iq:
-            if inst.state is not InstState.DISPATCHED:
+        ready = self.rename.ready
+        has_dependence = self.iq.matrix.has_dependence
+        dispatched = InstState.DISPATCHED
+        for inst in self.iq._slots:
+            if inst is None or inst.state is not dispatched:
                 continue
             instr = inst.instr
             if barrier is not None and inst.seq > barrier:
@@ -419,16 +451,27 @@ class Processor:
                 or self.cycle < self._commit_stall_until
             ):
                 continue
-            if not self._sources_ready(inst):
-                continue
+            # Operand readiness; stores only need their address operand.
+            psrcs = inst.psrcs
+            if instr.is_store:
+                if not ready[psrcs[0]]:
+                    continue
+            else:
+                sources_ready = True
+                for psrc in psrcs:
+                    if not ready[psrc]:
+                        sources_ready = False
+                        break
+                if not sources_ready:
+                    continue
             if inst.blocked:
                 # Filter-blocked load: wait for the security dependence
                 # row to clear, then re-issue (Section V.C).
-                if self.iq.has_security_dependence(inst):
+                if has_dependence(inst.iq_pos):
                     continue
                 inst.blocked = False
             elif baseline and instr.is_memory \
-                    and self.iq.has_security_dependence(inst):
+                    and has_dependence(inst.iq_pos):
                 # BASELINE: security-dependent memory accesses are
                 # unsafe and may not issue speculatively.
                 if not inst.ever_blocked:
@@ -439,10 +482,11 @@ class Processor:
             eligible.append(inst)
         if not eligible:
             return
-        eligible.sort(key=lambda candidate: candidate.seq)
+        eligible.sort(key=_SEQ_KEY)
         issued = 0
+        issue_width = self.machine.core.issue_width
         for inst in eligible:
-            if issued >= self.machine.core.issue_width:
+            if issued >= issue_width:
                 break
             if self.faults is not None \
                     and self.faults.drop_wakeup(self.cycle, inst):
@@ -450,15 +494,6 @@ class Processor:
                 continue
             self._issue_inst(inst)
             issued += 1
-
-    def _sources_ready(self, inst: DynInst) -> bool:
-        """Operand readiness; stores only need their address operand."""
-        if inst.instr.is_store:
-            return self.rename.is_ready(inst.psrcs[0])
-        for psrc in inst.psrcs:
-            if not self.rename.is_ready(psrc):
-                return False
-        return True
 
     def _issue_inst(self, inst: DynInst) -> None:
         instr = inst.instr
@@ -485,7 +520,7 @@ class Processor:
             # Defer the column clear to resolution; keep the slot.
             pos = inst.iq_pos
             assert pos is not None
-            self.iq._issued[pos] = True
+            self.iq.set_issued(pos)
         else:
             self.iq.mark_issued(inst)
 

@@ -8,6 +8,21 @@ row being written; a truncated trailing line (the crash signature) is
 tolerated and skipped on load.  Re-running a pair appends a fresh
 record — the *last* record per key wins — so the file doubles as a
 retry history.
+
+Single-writer invariant
+-----------------------
+
+A checkpoint file has exactly ONE writer at a time.  Interleaved
+appends from two processes (or two engines in one process) could tear
+each other's JSON lines and silently corrupt a resume file, so
+:meth:`acquire_writer` takes an exclusive OS-level lock (a ``.lock``
+sidecar via ``flock``) and a second acquisition of the same path —
+from anywhere — raises :class:`CheckpointWriterConflict` immediately
+instead of corrupting anything.  The parallel sweep executor respects
+this by construction: worker processes never touch the checkpoint;
+only the parent :class:`~repro.experiments.runner.SweepEngine`
+process, which holds the lock for the duration of the sweep, appends
+rows.
 """
 from __future__ import annotations
 
@@ -17,6 +32,11 @@ from typing import Any, Dict, Iterable, Optional, Tuple
 
 from ..errors import SimulationError
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
 FORMAT = "repro-sweep-checkpoint"
 VERSION = 1
 
@@ -25,19 +45,81 @@ class CheckpointError(SimulationError):
     """The checkpoint file is unreadable or from a different sweep."""
 
 
+class CheckpointWriterConflict(CheckpointError):
+    """A second writer tried to open the same checkpoint for append."""
+
+
 class CheckpointStore:
     """Append-only JSONL store with last-record-wins load semantics."""
 
     def __init__(self, path: str) -> None:
         self.path = path
+        self._lock_handle: Optional[Any] = None
 
     def exists(self) -> bool:
         return os.path.exists(self.path)
+
+    # ---- single-writer lock ----------------------------------------------
+
+    @property
+    def lock_path(self) -> str:
+        return self.path + ".lock"
+
+    def acquire_writer(self) -> None:
+        """Become the checkpoint's single writer (see the module
+        docstring).  Raises :class:`CheckpointWriterConflict` if any
+        other store — in this process or another — already holds the
+        writer lock for this path.  Idempotent for the holding store.
+        """
+        if self._lock_handle is not None:
+            return
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            return
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        handle = open(self.lock_path, "a")
+        try:
+            fcntl.flock(handle.fileno(),
+                        fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            handle.close()
+            raise CheckpointWriterConflict(
+                f"{self.path}: another sweep already holds the writer "
+                f"lock ({self.lock_path}); a checkpoint has exactly one "
+                f"writer — wait for the other sweep or point this one "
+                f"at a different --checkpoint path"
+            ) from None
+        self._lock_handle = handle
+
+    def release_writer(self) -> None:
+        """Release the writer lock (no-op if not held)."""
+        if self._lock_handle is None:
+            return
+        try:
+            fcntl.flock(self._lock_handle.fileno(), fcntl.LOCK_UN)
+        finally:
+            self._lock_handle.close()
+            self._lock_handle = None
+
+    def __enter__(self) -> "CheckpointStore":
+        self.acquire_writer()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release_writer()
+
+    def _assert_writable(self) -> None:
+        """Writes must not race another engine: if anyone else holds
+        the writer lock, refuse.  (Lazy-acquires the lock so direct
+        store users keep working without an explicit
+        :meth:`acquire_writer`.)"""
+        self.acquire_writer()
 
     # ---- writing ---------------------------------------------------------
 
     def reset(self, config: Optional[Dict[str, Any]] = None) -> None:
         """Truncate and write a fresh header."""
+        self._assert_writable()
         header = {"kind": "header", "format": FORMAT, "version": VERSION,
                   "config": config or {}}
         directory = os.path.dirname(os.path.abspath(self.path))
@@ -49,6 +131,7 @@ class CheckpointStore:
 
     def append(self, key: str, record: Dict[str, Any]) -> None:
         """Durably append one result record."""
+        self._assert_writable()
         payload = dict(record)
         payload["kind"] = "row"
         payload["key"] = key

@@ -1,0 +1,82 @@
+"""Cycle-exactness golden test.
+
+The hot-path optimizations (cached instruction flags, the big-integer
+security matrix, incremental producer masks, the inlined issue loop)
+must not move a single cycle: ``tests/data/cycles_golden.json`` pins
+cycle counts and attack leakage verdicts captured from the unoptimized
+simulator.  The full sweep lives in ``tools/cycles_golden.py``; this
+tier-1 test re-runs a representative subset — every corpus gadget kind,
+two SPEC profiles, and one end-to-end attack — under all four modes.
+"""
+import json
+import os
+
+import pytest
+
+from repro.analysis.corpus import GADGET_KINDS, build_corpus_variant
+from repro.attacks import build_spectre_v1, run_attack
+from repro.core.policy import EVALUATION_MODES, SecurityConfig
+from repro.params import paper_config
+from repro.pipeline.processor import Processor
+from repro.workloads import spec_program
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data",
+                           "cycles_golden.json")
+SPEC_SUBSET = ("bzip2", "mcf")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH) as handle:
+        data = json.load(handle)
+    assert data["format"] == "repro-cycles-golden"
+    return data
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return paper_config()
+
+
+class TestCycleExactness:
+    @pytest.mark.parametrize("kind", GADGET_KINDS)
+    def test_corpus_gadgets(self, golden, machine, kind):
+        expected = golden["corpus"][f"{kind}:unsafe"]
+        program = build_corpus_variant(kind, "unsafe")
+        for mode in EVALUATION_MODES:
+            cpu = Processor(program, machine=machine,
+                            security=SecurityConfig(mode=mode))
+            assert cpu.run().cycles == expected[mode.value], \
+                f"{kind}:unsafe cycles drifted under {mode.value}"
+
+    @pytest.mark.parametrize("name", SPEC_SUBSET)
+    def test_spec_profiles(self, golden, machine, name):
+        expected = golden["spec"][name]
+        scale = golden["spec_scale"]
+        for mode in EVALUATION_MODES:
+            program = spec_program(name, scale=scale)
+            cpu = Processor(program, machine=machine,
+                            security=SecurityConfig(mode=mode))
+            assert cpu.run().cycles == expected[mode.value], \
+                f"{name} cycles drifted under {mode.value}"
+
+    def test_attack_cycles_and_verdicts(self, golden, machine):
+        expected = golden["attacks"]["v1"]
+        for mode in EVALUATION_MODES:
+            attack = build_spectre_v1(machine=machine)
+            result = run_attack(attack, machine=machine,
+                                security=SecurityConfig(mode=mode))
+            assert result.report.cycles == \
+                expected[mode.value]["cycles"], \
+                f"v1 attack cycles drifted under {mode.value}"
+            assert bool(result.success) == \
+                expected[mode.value]["leaked"], \
+                f"v1 leakage verdict flipped under {mode.value}"
+
+    def test_golden_covers_full_matrix(self, golden):
+        # The file itself must stay complete: all kinds x variants,
+        # the whole SPEC suite, all five PoCs.
+        assert len(golden["corpus"]) >= 12
+        assert len(golden["spec"]) >= 20
+        assert set(golden["attacks"]) == \
+            {"v1", "v2", "v4", "rsb", "prime"}

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Sweep benchmark harness driver (CI entry point).
+
+Measures simulated-instructions/sec and serial-vs-parallel sweep
+wall-clock via :mod:`repro.perf.bench`, writes ``BENCH_sweep.json``,
+and optionally enforces the committed regression baseline::
+
+    python tools/bench.py                      # full harness
+    python tools/bench.py --smoke              # reduced scale for CI
+    python tools/bench.py --smoke --check      # fail on >20% regression
+    python tools/bench.py --smoke --write-baseline
+
+``--check`` compares simulated-instructions/sec against
+``benchmarks/BENCH_baseline.json`` (written with ``--write-baseline``
+on a comparable machine) and exits non-zero when throughput drops more
+than ``--tolerance`` (default 20%), when the parallel pass loses
+determinism, or when sweep failures appear.
+"""
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.perf.bench import (  # noqa: E402
+    check_regression,
+    load_bench_json,
+    run_bench,
+    write_bench_json,
+)
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "benchmarks",
+                                "BENCH_baseline.json")
+
+#: The --smoke configuration: small enough for a CI job, large enough
+#: that process-pool overhead does not dominate the parallel pass.
+SMOKE_BENCHMARKS = ["bzip2", "mcf", "hmmer", "libquantum"]
+SMOKE_SCALE = 0.3
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"reduced CI configuration "
+                             f"({', '.join(SMOKE_BENCHMARKS)} at scale "
+                             f"{SMOKE_SCALE})")
+    parser.add_argument("--benchmarks", nargs="*", default=None,
+                        help="explicit benchmark subset")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="workload scale (default: 1.0, or the "
+                             "--smoke scale)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="parallel-pass pool size (default: one "
+                             "per CPU, minimum 2)")
+    parser.add_argument("--serial-only", action="store_true",
+                        help="skip the parallel pass")
+    parser.add_argument("--out", default="BENCH_sweep.json",
+                        help="result path (default BENCH_sweep.json)")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="baseline path for --check/--write-baseline")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on regression vs the baseline")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed throughput drop for --check "
+                             "(default 0.2 = 20%%)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="record this run as the new baseline")
+    args = parser.parse_args(argv)
+
+    benchmarks = args.benchmarks
+    scale = args.scale
+    if args.smoke:
+        if benchmarks is None:
+            benchmarks = SMOKE_BENCHMARKS
+        if scale is None:
+            scale = SMOKE_SCALE
+    result = run_bench(
+        benchmarks=benchmarks,
+        scale=scale if scale is not None else 1.0,
+        workers=args.workers,
+        parallel=not args.serial_only,
+    )
+    print(result.render())
+    write_bench_json(result, args.out)
+    print(f"wrote {args.out}")
+
+    if args.write_baseline:
+        os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+        write_bench_json(result, args.baseline)
+        print(f"wrote baseline {args.baseline}")
+        return 0
+    if args.check:
+        if not os.path.exists(args.baseline):
+            print(f"bench: no baseline at {args.baseline}; run "
+                  f"tools/bench.py --write-baseline first",
+                  file=sys.stderr)
+            return 2
+        baseline = load_bench_json(args.baseline)
+        problems = check_regression(result, baseline,
+                                    tolerance=args.tolerance)
+        for problem in problems:
+            print(f"bench REGRESSION: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print(f"bench: within {args.tolerance:.0%} of baseline "
+              f"({baseline.instructions_per_sec:,.0f} instructions/s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

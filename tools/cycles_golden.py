@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Capture / check the cycle-exactness golden file.
+
+The hot-path optimizations in :mod:`repro.perf` (and any future
+pipeline refactor) must be *cycle-exact*: the same program on the same
+machine under the same protection mode must report exactly the same
+:attr:`~repro.pipeline.report.SimReport.cycles` and the same attack
+leakage verdicts as the unoptimized simulator.  This tool pins that
+contract in ``tests/data/cycles_golden.json``:
+
+- every corpus gadget driver (kind x variant) under all four
+  protection modes — committed cycles;
+- every SPEC profile at a reduced scale under all four modes —
+  committed cycles;
+- every Spectre PoC under all four modes — cycles *and* the leakage
+  verdict (did the attack recover the secret?).
+
+``python tools/cycles_golden.py --write`` regenerates the file (only
+legitimate after an intentional timing-model change, never for a
+performance-only PR); without flags it verifies and exits non-zero on
+any drift.  ``tests/test_cycle_exact_golden.py`` runs the same
+comparison inside the tier-1 suite.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.analysis.corpus import (  # noqa: E402
+    CORPUS_VARIANTS,
+    GADGET_KINDS,
+    build_corpus_variant,
+)
+from repro.attacks import (  # noqa: E402
+    build_spectre_prime,
+    build_spectre_rsb,
+    build_spectre_v1,
+    build_spectre_v2,
+    build_spectre_v4,
+    run_attack,
+)
+from repro.core.policy import EVALUATION_MODES, SecurityConfig  # noqa: E402
+from repro.params import paper_config  # noqa: E402
+from repro.pipeline.processor import Processor  # noqa: E402
+from repro.workloads import spec_names, spec_program  # noqa: E402
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    "..", "tests", "data", "cycles_golden.json",
+)
+
+#: SPEC profiles are pinned at a reduced scale so the golden sweep
+#: stays fast enough for the tier-1 suite.
+SPEC_SCALE = 0.1
+
+_ATTACKS = {
+    "v1": build_spectre_v1,
+    "v2": build_spectre_v2,
+    "v4": build_spectre_v4,
+    "rsb": build_spectre_rsb,
+    "prime": build_spectre_prime,
+}
+
+
+def capture() -> Dict[str, Any]:
+    """Run the pinned workloads and collect cycles + verdicts."""
+    machine = paper_config()
+    golden: Dict[str, Any] = {
+        "format": "repro-cycles-golden",
+        "version": 1,
+        "spec_scale": SPEC_SCALE,
+        "corpus": {},
+        "spec": {},
+        "attacks": {},
+    }
+    for kind in GADGET_KINDS:
+        for variant in CORPUS_VARIANTS:
+            program = build_corpus_variant(kind, variant)
+            per_mode: Dict[str, int] = {}
+            for mode in EVALUATION_MODES:
+                cpu = Processor(program, machine=machine,
+                                security=SecurityConfig(mode=mode))
+                per_mode[mode.value] = cpu.run().cycles
+            golden["corpus"][f"{kind}:{variant}"] = per_mode
+    for name in spec_names():
+        per_mode = {}
+        for mode in EVALUATION_MODES:
+            program = spec_program(name, scale=SPEC_SCALE)
+            cpu = Processor(program, machine=machine,
+                            security=SecurityConfig(mode=mode))
+            per_mode[mode.value] = cpu.run().cycles
+        golden["spec"][name] = per_mode
+    for name, build in _ATTACKS.items():
+        per_mode_attack: Dict[str, Dict[str, Any]] = {}
+        for mode in EVALUATION_MODES:
+            attack = build(machine=machine)
+            result = run_attack(attack, machine=machine,
+                                security=SecurityConfig(mode=mode))
+            per_mode_attack[mode.value] = {
+                "cycles": result.report.cycles,
+                "leaked": bool(result.success),
+            }
+        golden["attacks"][name] = per_mode_attack
+    return golden
+
+
+def diff(expected: Dict[str, Any], actual: Dict[str, Any]) -> list:
+    """Human-readable list of mismatches between two captures."""
+    problems = []
+    for section in ("corpus", "spec", "attacks"):
+        exp, act = expected.get(section, {}), actual.get(section, {})
+        for key in sorted(set(exp) | set(act)):
+            if exp.get(key) != act.get(key):
+                problems.append(
+                    f"{section}/{key}: expected {exp.get(key)!r}, "
+                    f"got {act.get(key)!r}"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--write", action="store_true",
+                        help="(re)write the golden file")
+    args = parser.parse_args(argv)
+    actual = capture()
+    if args.write:
+        os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+        with open(GOLDEN_PATH, "w") as handle:
+            json.dump(actual, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {os.path.relpath(GOLDEN_PATH)}")
+        return 0
+    with open(GOLDEN_PATH) as handle:
+        expected = json.load(handle)
+    problems = diff(expected, actual)
+    if problems:
+        print("cycle-exactness golden MISMATCH:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    runs = (len(expected["corpus"]) + len(expected["spec"])
+            + len(expected["attacks"])) * len(EVALUATION_MODES)
+    print(f"cycle-exactness golden OK ({runs} pinned runs)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
