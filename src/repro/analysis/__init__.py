@@ -17,6 +17,14 @@ oracle for "which loads are unsafe to speculate":
   in-bounds (the precision layer);
 - :mod:`fencesynth` — greedy synthesize-and-verify minimal fence
   placement that repairs the surviving findings (the repair layer);
+- :mod:`solver` — small pure-Python 64-bit bitvector constraint layer
+  (intervals, known-zero bits, restart-based concretization);
+- :mod:`symx` — bounded symbolic execution with always-mispredict
+  speculative semantics deciding speculative noninterference:
+  ``PROVED_SAFE`` / ``LEAKY(witness)`` / ``UNKNOWN(budget)`` (the
+  certification layer);
+- :mod:`witness` — concrete counterexamples and their replay on the
+  dynamic pipeline;
 - :mod:`report` — structured findings and rendering;
 - :mod:`verify` — cross-validation against the dynamic security
   matrix (every dynamically-recorded security dependence must be
@@ -34,12 +42,27 @@ from .fencesynth import (
     synthesize_fences,
     uses_rdcycle,
 )
-from .report import SCHEMA_VERSION, AnalysisReport, Finding, GadgetKind
+from .report import (
+    SCHEMA_VERSION,
+    AnalysisReport,
+    Finding,
+    GadgetKind,
+    report_from_dict,
+)
+from .solver import ConstraintSolver, SolverStats
+from .symx import (
+    CertifyResult,
+    LeakRecord,
+    Verdict,
+    certify_program,
+    finding_certificates,
+)
 from .taint import (
     DEFAULT_WINDOW,
     analyze_program,
     static_suspect_pcs,
 )
+from .witness import ReplayResult, Witness, replay_witness
 from .valueset import (
     RefinedReport,
     RefutedFinding,
@@ -70,6 +93,17 @@ __all__ = [
     "Finding",
     "AnalysisReport",
     "SCHEMA_VERSION",
+    "report_from_dict",
+    "ConstraintSolver",
+    "SolverStats",
+    "CertifyResult",
+    "LeakRecord",
+    "Verdict",
+    "certify_program",
+    "finding_certificates",
+    "ReplayResult",
+    "Witness",
+    "replay_witness",
     "DEFAULT_WINDOW",
     "analyze_program",
     "static_suspect_pcs",

@@ -20,6 +20,7 @@ measures the false-positive rate before/after refinement.
 """
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable, Dict, Tuple
 
 from ..attacks.gadgets import (
@@ -108,10 +109,17 @@ def build_v4_gadget(fenced: bool = False, masked: bool = False) -> Program:
     return builder.build()
 
 
+#: Word holding the rsb victim's architectural return target.  A *cold*
+#: data word (never prewarmed), so the dynamic RET resolves slowly and
+#: the stale RAS prediction gets a real speculation window — the same
+#: role ``clflush`` plays in the full ``spectre_rsb`` attack.
+RSB_RETADDR_ADDR = 0x86000
+
+
 def build_rsb_gadget(fenced: bool = False, masked: bool = False) -> Program:
-    """ret2spec: the victim function rewrites its return target, so the
-    RAS-predicted return speculatively executes the gadget planted
-    after the call site."""
+    """ret2spec: the victim function rewrites its return target (loaded
+    from cold memory), so the RAS-predicted return speculatively
+    executes the gadget planted after the call site."""
     layout = AttackLayout()
     builder = _make_builder(layout)
     builder.li(12, layout.input_addr(0) if masked else layout.secret_addr)
@@ -132,11 +140,20 @@ def build_rsb_gadget(fenced: bool = False, masked: bool = False) -> Program:
     emit_transmit(builder, layout, 13)
     builder.jmp("rsb_done")
     builder.label("rsb_victim_demo")
-    builder.li_label(31, "rsb_done")
+    builder.li(9, RSB_RETADDR_ADDR)
+    builder.load(31, 9, note="return target from (cold) memory")
     builder.ret()
     builder.label("rsb_done")
     builder.halt()
-    return builder.build()
+    program = builder.build()
+    # The return-target word holds a code label only known post-build;
+    # `insert_fences` remaps label-valued data words, so the fenced
+    # rewrite keeps pointing at (the fence before) `rsb_done`.
+    return dataclasses.replace(
+        program,
+        initial_memory={**program.initial_memory,
+                        RSB_RETADDR_ADDR: program.labels["rsb_done"]},
+    )
 
 
 GADGET_BUILDERS: Dict[str, Callable[..., Program]] = {

@@ -44,6 +44,7 @@ from ..isa.instructions import Opcode
 from ..isa.oracle import run_oracle
 from ..isa.program import FenceRewrite, Program, insert_fences
 from .report import AnalysisReport, Finding
+from .symx import CertifyResult, Verdict, certify_program
 from .taint import DEFAULT_WINDOW, analyze_program
 from .valueset import RefinedReport, refine_report
 
@@ -108,6 +109,13 @@ class FenceSynthesis:
     #: Refinement of the final scan (``None`` with ``refine=False``).
     refined: Optional[RefinedReport]
     secret_words: Tuple[int, ...]
+    #: Symbolic certificate for the *fenced* image (``certify=True``):
+    #: must be ``PROVED_SAFE`` for the synthesis to be trusted
+    #: end-to-end.
+    certificate: Optional[CertifyResult] = None
+    #: Symbolic certificate for the *original* image: ``LEAKY`` with a
+    #: replayed witness whenever a fence was actually needed.
+    original_certificate: Optional[CertifyResult] = None
 
     @property
     def program(self) -> Program:
@@ -124,6 +132,12 @@ class FenceSynthesis:
             return not self.refined.confirmed
         return self.report.clean
 
+    @property
+    def certified(self) -> bool:
+        """The fenced image carries a ``PROVED_SAFE`` certificate."""
+        return (self.certificate is not None
+                and self.certificate.verdict is Verdict.PROVED_SAFE)
+
     def render(self) -> str:
         placements = ", ".join(f"{pc:#x}" for pc in self.fence_pcs) or "-"
         refuted = (len(self.refined.refuted)
@@ -135,6 +149,8 @@ class FenceSynthesis:
             f"{'clean' if self.clean else 'NOT CLEAN'}"
             + (f" ({refuted} finding(s) refuted, no fence needed)"
                if refuted else "")
+            + (f"; certificate {self.certificate.verdict.value}"
+               if self.certificate is not None else "")
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -146,6 +162,11 @@ class FenceSynthesis:
             "clean": self.clean,
             "refuted": (len(self.refined.refuted)
                         if self.refined is not None else 0),
+            "certificate": (self.certificate.to_dict()
+                            if self.certificate is not None else None),
+            "original_certificate": (
+                self.original_certificate.to_dict()
+                if self.original_certificate is not None else None),
         }
 
 
@@ -161,6 +182,7 @@ def synthesize_fences(
     window: int = DEFAULT_WINDOW,
     secret_words: Iterable[int] = (),
     refine: bool = True,
+    certify: bool = False,
     name: str = "program",
 ) -> FenceSynthesis:
     """Greedily place the fewest fences that silence every surviving
@@ -171,6 +193,13 @@ def synthesize_fences(
     mitigation.  ``secret_words`` is forwarded to the refinement;
     data addresses are untouched by the rewriting, so the same words
     remain valid in every candidate image.
+
+    With ``certify``, the symbolic certifier
+    (:func:`repro.analysis.symx.certify_program`) runs as a post-pass
+    on both images: the fenced image must come back ``PROVED_SAFE``
+    (exposed as :attr:`FenceSynthesis.certified`), and the original is
+    certified for comparison — ``LEAKY`` with a replayable witness
+    whenever the placement actually repaired something.
     """
     secrets = tuple(sorted(set(secret_words)))
     fence_pcs: Set[int] = set()
@@ -205,6 +234,14 @@ def synthesize_fences(
         best = min(coverage, key=lambda pc: (-coverage[pc], pc))
         fence_pcs.add(best)
         ordered_pcs.append(best)
+    certificate: Optional[CertifyResult] = None
+    original_certificate: Optional[CertifyResult] = None
+    if certify:
+        certificate = certify_program(
+            rewrite.program, secret_words=secrets, window=window,
+            name=f"{name}+fences")
+        original_certificate = certify_program(
+            program, secret_words=secrets, window=window, name=name)
     return FenceSynthesis(
         original=program,
         rewrite=rewrite,
@@ -213,4 +250,6 @@ def synthesize_fences(
         report=report,
         refined=refined,
         secret_words=secrets,
+        certificate=certificate,
+        original_certificate=original_certificate,
     )

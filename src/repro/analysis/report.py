@@ -3,14 +3,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 #: Version of the JSON document emitted by ``repro analyze --json``.
 #: Bump whenever a field is added, removed or reinterpreted so
 #: downstream tooling can detect format drift (guarded by a golden-file
 #: test).  History: 1 = PR 1 initial format; 2 = added
-#: ``schema_version`` itself and the optional ``refinement`` block.
-SCHEMA_VERSION = 2
+#: ``schema_version`` itself and the optional ``refinement`` block;
+#: 3 = optional per-finding ``certificate`` block (symbolic verdict,
+#: witness, dynamic replay, solver stats) from ``repro analyze
+#: --certify``.
+SCHEMA_VERSION = 3
 
 
 class GadgetKind(Enum):
@@ -113,25 +116,79 @@ class AnalysisReport:
             lines.append(finding.render())
         return "\n".join(lines)
 
-    def to_dict(self) -> Dict[str, object]:
-        """JSON-friendly form (CLI ``--json``)."""
+    def to_dict(
+        self,
+        certificates: Optional[Mapping[int, Dict[str, object]]] = None,
+    ) -> Dict[str, object]:
+        """JSON-friendly form (CLI ``--json``).
+
+        ``certificates`` (schema v3) optionally maps a finding's
+        ``sink_pc`` to its symbolic certificate block — the per-sink
+        verdict, witness, dynamic replay result and solver statistics
+        produced by :func:`repro.analysis.symx.finding_certificates`.
+        Findings without an entry simply omit the block, so documents
+        written without ``--certify`` stay v2-shaped apart from the
+        version number.
+        """
+        findings = []
+        for f in self.findings:
+            entry: Dict[str, object] = {
+                "kind": f.kind.value,
+                "source_pc": f.source_pc,
+                "sink_pc": f.sink_pc,
+                "tainting_loads": list(f.tainting_loads),
+                "suggested_fence_pc": f.suggested_fence_pc,
+                "source": f.source_disasm,
+                "sink": f.sink_disasm,
+            }
+            if certificates is not None and f.sink_pc in certificates:
+                entry["certificate"] = certificates[f.sink_pc]
+            findings.append(entry)
         return {
             "schema_version": SCHEMA_VERSION,
             "name": self.name,
             "window": self.window,
             "instructions": self.instructions,
             "blocks": self.blocks,
-            "findings": [
-                {
-                    "kind": f.kind.value,
-                    "source_pc": f.source_pc,
-                    "sink_pc": f.sink_pc,
-                    "tainting_loads": list(f.tainting_loads),
-                    "suggested_fence_pc": f.suggested_fence_pc,
-                    "source": f.source_disasm,
-                    "sink": f.sink_disasm,
-                }
-                for f in self.findings
-            ],
+            "findings": findings,
             "suspect_pcs": list(self.suspect_pcs),
         }
+
+
+def report_from_dict(data: Mapping[str, object]) -> AnalysisReport:
+    """Rebuild an :class:`AnalysisReport` from a ``--json`` document.
+
+    Accepts every schema version to date: v1 (no ``schema_version``
+    key), v2, and v3 (whose optional per-finding ``certificate`` block
+    and sibling ``refinement``/``fence_synthesis`` blocks are simply
+    ignored here — the core findings are version-stable).
+    """
+    version = int(data.get("schema_version", 1))  # type: ignore[arg-type]
+    if version > SCHEMA_VERSION:
+        raise ValueError(
+            f"analyze document schema_version {version} is newer than "
+            f"supported ({SCHEMA_VERSION})"
+        )
+    findings = []
+    raw_findings = data.get("findings", [])
+    assert isinstance(raw_findings, list)
+    for raw in raw_findings:
+        findings.append(Finding(
+            kind=GadgetKind(raw["kind"]),
+            source_pc=int(raw["source_pc"]),
+            sink_pc=int(raw["sink_pc"]),
+            tainting_loads=tuple(int(pc)
+                                 for pc in raw.get("tainting_loads", ())),
+            source_disasm=str(raw.get("source", "")),
+            sink_disasm=str(raw.get("sink", "")),
+        ))
+    suspect_raw = data.get("suspect_pcs", [])
+    assert isinstance(suspect_raw, list)
+    return AnalysisReport(
+        name=str(data.get("name", "program")),
+        window=int(data.get("window", 0)),  # type: ignore[arg-type]
+        instructions=int(data.get("instructions", 0)),  # type: ignore[arg-type]
+        blocks=int(data.get("blocks", 0)),  # type: ignore[arg-type]
+        findings=findings,
+        suspect_pcs=tuple(int(pc) for pc in suspect_raw),
+    )

@@ -1,0 +1,551 @@
+"""Pure-Python 64-bit bitvector expressions and a concretization solver.
+
+The symbolic certifier (:mod:`repro.analysis.symx`) needs just enough
+constraint reasoning to (a) prove that a symbolic address can never
+alias a secret word and (b) *find* concrete initial states that drive a
+program down a leaky transient path.  A full SMT solver (z3) is
+deliberately out of scope — the repository carries no native
+dependencies — so this module implements the small, predictable core
+the gadget idioms actually exercise:
+
+- an expression AST over 64-bit bitvectors (:class:`Const`,
+  :class:`Var`, :class:`App`) with aggressive constant folding and
+  secret-taint propagation baked into construction;
+- two lightweight abstract domains computed eagerly per node — an
+  unsigned interval ``[lo, hi]`` and a known-zero-bits mask — which
+  together refute aliasing for masked index chains
+  (``AND``/``SHL``-confined addresses);
+- affine *inversion* (:func:`invert`): solving ``expr == target`` for
+  a single variable through ``ADD``/``SUB``/``XOR``/``SHL``/``SHR``/
+  ``MUL``/``AND`` chains, which is exactly the shape of transmit-
+  address arithmetic in Spectre gadgets;
+- a restart-based concretization search (:class:`ConstraintSolver`):
+  candidate values per variable (preferred defaults, inversion hints,
+  boundary values) enumerated deterministically until the constraint
+  set evaluates true.
+
+Everything is deterministic: no randomness, no wall-clock dependence,
+so certificates and witnesses are reproducible run to run.
+"""
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from ..isa.instructions import WORD_BYTES, mask64, to_signed
+
+WORD_MASK = (1 << 64) - 1
+_WORD_ALIGN = ~(WORD_BYTES - 1)
+
+#: Binary operators understood by the expression language.  The ALU
+#: subset mirrors :func:`repro.isa.instructions.evaluate_alu`; the
+#: comparison subset ("eq", "ne", "slt", "sge") yields 0/1 and mirrors
+#: :func:`repro.isa.instructions.branch_taken` (BLT/BGE are signed).
+OPS = ("add", "sub", "mul", "div", "and", "or", "xor", "shl", "shr",
+       "eq", "ne", "slt", "sge")
+
+_COMPARISONS = frozenset({"eq", "ne", "slt", "sge"})
+#: Complement map used to negate a path condition without a NOT node.
+NEGATED_OP = {"eq": "ne", "ne": "eq", "slt": "sge", "sge": "slt"}
+
+
+def concrete_op(op: str, a: int, b: int) -> int:
+    """Evaluate one operator on concrete 64-bit values."""
+    if op == "add":
+        return mask64(a + b)
+    if op == "sub":
+        return mask64(a - b)
+    if op == "mul":
+        return mask64(a * b)
+    if op == "div":
+        if b == 0:
+            return WORD_MASK
+        return mask64(a // b)
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "shl":
+        return mask64(a << (b & 63))
+    if op == "shr":
+        return a >> (b & 63)
+    if op == "eq":
+        return int(a == b)
+    if op == "ne":
+        return int(a != b)
+    if op == "slt":
+        return int(to_signed(a) < to_signed(b))
+    if op == "sge":
+        return int(to_signed(a) >= to_signed(b))
+    raise ValueError(f"unknown operator {op!r}")
+
+
+class Expr:
+    """Base class for expression nodes.
+
+    Every node carries, computed once at construction:
+
+    - ``secret`` — whether any :class:`Var` in its support is
+      secret-tagged (conservative taint);
+    - ``lo``/``hi`` — an unsigned 64-bit interval over-approximating
+      the node's value;
+    - ``zeros`` — a mask of bits proven zero in every valuation.
+    """
+
+    __slots__ = ("secret", "lo", "hi", "zeros")
+
+    secret: bool
+    lo: int
+    hi: int
+    zeros: int
+
+    def max_value(self) -> int:
+        """Tightest known upper bound (interval meets known bits)."""
+        return min(self.hi, WORD_MASK & ~self.zeros)
+
+
+class Const(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        value = mask64(value)
+        self.value = value
+        self.secret = False
+        self.lo = value
+        self.hi = value
+        self.zeros = WORD_MASK & ~value
+
+    def __repr__(self) -> str:
+        return f"{self.value:#x}"
+
+
+class Var(Expr):
+    """A free 64-bit symbol.
+
+    ``preferred`` biases concretization (for symbols modelling
+    initialized memory this is the program image's value, so found
+    models stay as close to the real initial state as possible).
+    ``origin_word`` records the word address the symbol models (``None``
+    for register or synthetic symbols) — the witness builder uses it to
+    turn a model back into a concrete ``initial_memory``.
+    """
+
+    __slots__ = ("name", "preferred", "origin_word")
+
+    def __init__(self, name: str, *, secret: bool = False,
+                 preferred: int = 0,
+                 origin_word: Optional[int] = None) -> None:
+        self.name = name
+        self.secret = secret
+        self.preferred = mask64(preferred)
+        self.origin_word = origin_word
+        self.lo = 0
+        self.hi = WORD_MASK
+        self.zeros = 0
+
+    def __repr__(self) -> str:
+        tag = "!" if self.secret else ""
+        return f"{tag}{self.name}"
+
+
+class App(Expr):
+    __slots__ = ("op", "a", "b")
+
+    def __init__(self, op: str, a: Expr, b: Expr) -> None:
+        self.op = op
+        self.a = a
+        self.b = b
+        self.secret = a.secret or b.secret
+        self.lo, self.hi, self.zeros = _abstract(op, a, b)
+
+    def __repr__(self) -> str:
+        return f"({self.op} {self.a!r} {self.b!r})"
+
+
+def _abstract(op: str, a: Expr, b: Expr) -> Tuple[int, int, int]:
+    """Interval + known-zero-bits transfer for one operator."""
+    lo, hi, zeros = 0, WORD_MASK, 0
+    if op in _COMPARISONS:
+        return 0, 1, WORD_MASK & ~1
+    if op == "add":
+        if a.hi + b.hi <= WORD_MASK:
+            lo, hi = a.lo + b.lo, a.hi + b.hi
+    elif op == "sub":
+        if a.lo >= b.hi:
+            lo, hi = a.lo - b.hi, a.hi - b.lo
+    elif op == "mul":
+        if a.hi * b.hi <= WORD_MASK:
+            lo, hi = a.lo * b.lo, a.hi * b.hi
+    elif op == "and":
+        zeros = a.zeros | b.zeros
+        lo, hi = 0, min(a.max_value(), b.max_value())
+    elif op == "or":
+        zeros = a.zeros & b.zeros
+        lo, hi = max(a.lo, b.lo), WORD_MASK
+    elif op == "xor":
+        zeros = a.zeros & b.zeros
+    elif op == "shl" and isinstance(b, Const):
+        k = b.value & 63
+        zeros = ((a.zeros << k) | ((1 << k) - 1)) & WORD_MASK
+        if a.hi << k <= WORD_MASK:
+            lo, hi = a.lo << k, a.hi << k
+    elif op == "shr" and isinstance(b, Const):
+        k = b.value & 63
+        high = ((1 << k) - 1) << (64 - k) if k else 0
+        zeros = (a.zeros >> k) | high
+        lo, hi = a.lo >> k, a.hi >> k
+    elif op == "div" and isinstance(b, Const) and b.value > 0:
+        lo, hi = a.lo // b.value, a.hi // b.value
+    hi = min(hi, WORD_MASK & ~zeros)
+    lo = min(lo, hi)
+    return lo, hi, zeros
+
+
+def mk(op: str, a: Expr, b: Expr) -> Expr:
+    """Smart constructor: fold constants and collapse affine chains."""
+    if isinstance(a, Const) and isinstance(b, Const):
+        return Const(concrete_op(op, a.value, b.value))
+    # Normalize constants to the right for commutative operators and
+    # rewrite subtraction-of-constant as modular addition, so chains
+    # like ``base + (x << 3) + c1 - c2`` collapse to one offset.
+    if op in ("add", "mul", "and", "or", "xor") and isinstance(a, Const):
+        a, b = b, a
+    if op == "sub" and isinstance(b, Const):
+        op, b = "add", Const(mask64(-b.value))
+    if isinstance(b, Const):
+        c = b.value
+        if op in ("add", "or", "xor", "shl", "shr") and c == 0:
+            return a
+        if op == "and":
+            if c == 0:
+                return Const(0)
+            if c == WORD_MASK:
+                return a
+        if op == "mul":
+            if c == 0:
+                return Const(0)
+            if c == 1:
+                return a
+        if (op in ("add", "xor", "and", "or")
+                and isinstance(a, App) and a.op == op
+                and isinstance(a.b, Const)):
+            return App(op, a.a, Const(concrete_op(op, a.b.value, c)))
+    return App(op, a, b)
+
+
+def negate(condition: Expr) -> Expr:
+    """The complement of a comparison expression."""
+    if isinstance(condition, App) and condition.op in NEGATED_OP:
+        return App(NEGATED_OP[condition.op], condition.a, condition.b)
+    return mk("eq", condition, Const(0))
+
+
+def support(expr: Expr) -> Dict[str, Var]:
+    """All :class:`Var` nodes reachable from ``expr``, by name."""
+    found: Dict[str, Var] = {}
+    stack = [expr]
+    seen: Set[int] = set()
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        if isinstance(node, Var):
+            found[node.name] = node
+        elif isinstance(node, App):
+            stack.append(node.a)
+            stack.append(node.b)
+    return found
+
+
+def evaluate(expr: Expr, model: Dict[str, int]) -> int:
+    """Concrete value of ``expr`` under ``model`` (missing variables
+    take their preferred value).  Iterative: immune to deep chains."""
+    cache: Dict[int, int] = {}
+    stack: List[Expr] = [expr]
+    while stack:
+        node = stack[-1]
+        key = id(node)
+        if key in cache:
+            stack.pop()
+            continue
+        if isinstance(node, Const):
+            cache[key] = node.value
+            stack.pop()
+        elif isinstance(node, Var):
+            cache[key] = mask64(model.get(node.name, node.preferred))
+            stack.pop()
+        else:
+            assert isinstance(node, App)
+            left, right = cache.get(id(node.a)), cache.get(id(node.b))
+            if left is None or right is None:
+                if right is None:
+                    stack.append(node.b)
+                if left is None:
+                    stack.append(node.a)
+                continue
+            cache[key] = concrete_op(node.op, left, right)
+            stack.pop()
+    return cache[id(expr)]
+
+
+def exprs_equal(a: Expr, b: Expr) -> bool:
+    """Structural equality (used for must-alias store matching)."""
+    if a is b:
+        return True
+    if isinstance(a, Const) and isinstance(b, Const):
+        return a.value == b.value
+    if isinstance(a, Var) and isinstance(b, Var):
+        return a.name == b.name
+    if isinstance(a, App) and isinstance(b, App):
+        return (a.op == b.op and exprs_equal(a.a, b.a)
+                and exprs_equal(a.b, b.b))
+    return False
+
+
+def cannot_equal(expr: Expr, value: int) -> bool:
+    """Proof that ``expr`` can never take ``value`` (domain-based)."""
+    value = mask64(value)
+    if value < expr.lo or value > expr.hi:
+        return True
+    return bool(value & expr.zeros)
+
+
+def words_disjoint(a: Expr, b: Expr) -> bool:
+    """Proof that two addresses can never touch the same aligned
+    word (the LSQ's aliasing granularity)."""
+    if isinstance(a, Const) and isinstance(b, Const):
+        return (a.value & _WORD_ALIGN) != (b.value & _WORD_ALIGN)
+    return a.hi < (b.lo & _WORD_ALIGN) or b.hi < (a.lo & _WORD_ALIGN)
+
+
+def invert(expr: Expr, target: int) -> Optional[Dict[str, int]]:
+    """Solve ``expr == target`` by peeling invertible operator chains.
+
+    Returns a (single-variable) assignment, or ``None`` when the chain
+    contains a non-invertible step.  The supported shapes cover gadget
+    address arithmetic: base-plus-scaled-index built from ``ADD``,
+    ``SUB``, ``XOR``, ``SHL``, ``SHR``, ``MUL`` and masking ``AND``.
+    """
+    target = mask64(target)
+    node = expr
+    while True:
+        if isinstance(node, Var):
+            return {node.name: target}
+        if isinstance(node, Const):
+            return {} if node.value == target else None
+        assert isinstance(node, App)
+        op, a, b = node.op, node.a, node.b
+        if isinstance(b, Const):
+            c = b.value
+            if op == "add":
+                node, target = a, mask64(target - c)
+                continue
+            if op == "xor":
+                node, target = a, target ^ c
+                continue
+            if op == "shl":
+                k = c & 63
+                if target & ((1 << k) - 1):
+                    return None
+                node, target = a, target >> k
+                continue
+            if op == "shr":
+                k = c & 63
+                if mask64(target << k) >> k != target:
+                    return None
+                node, target = a, mask64(target << k)
+                continue
+            if op == "mul":
+                if c == 0 or target % c:
+                    return None
+                node, target = a, target // c
+                continue
+            if op == "and":
+                if target & ~c:
+                    return None
+                node = a
+                continue
+            return None
+        if op == "sub" and isinstance(a, Const):
+            node, target = b, mask64(a.value - target)
+            continue
+        return None
+
+
+@dataclass
+class SolverStats:
+    """Counters for certificate reporting (deterministic, no clocks)."""
+
+    models_tried: int = 0
+    models_found: int = 0
+    inversion_hints: int = 0
+    alias_queries: int = 0
+    refuted_by_domain: int = 0
+
+    def merge(self, other: "SolverStats") -> None:
+        self.models_tried += other.models_tried
+        self.models_found += other.models_found
+        self.inversion_hints += other.inversion_hints
+        self.alias_queries += other.alias_queries
+        self.refuted_by_domain += other.refuted_by_domain
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "models_tried": self.models_tried,
+            "models_found": self.models_found,
+            "inversion_hints": self.inversion_hints,
+            "alias_queries": self.alias_queries,
+            "refuted_by_domain": self.refuted_by_domain,
+        }
+
+
+class ConstraintSolver:
+    """Deterministic restart-based concretization.
+
+    ``find_model`` searches assignments over the constraint set's
+    support.  Candidate values per variable come, in order, from the
+    variable's preferred default, affine inversion of ``expr == const``
+    shapes in the constraints, comparison boundaries, and a couple of
+    universal fallbacks (0, 1, all-ones).  The candidate product is
+    enumerated (preferred-first, so the common case is the first try)
+    up to ``max_models`` evaluations.
+    """
+
+    def __init__(self, max_models: int = 512,
+                 max_candidates_per_var: int = 8) -> None:
+        self.max_models = max_models
+        self.max_candidates_per_var = max_candidates_per_var
+        self.stats = SolverStats()
+
+    # -- candidate generation -------------------------------------------
+
+    def _candidates(self, variables: Dict[str, Var],
+                    constraints: Sequence[Expr],
+                    fixed: Dict[str, int]) -> Dict[str, List[int]]:
+        candidates: Dict[str, List[int]] = {
+            name: [var.preferred] for name, var in variables.items()
+        }
+
+        def add(name: str, value: int) -> None:
+            if name in candidates and name not in fixed:
+                value = mask64(value)
+                bucket = candidates[name]
+                if (value not in bucket
+                        and len(bucket) < self.max_candidates_per_var):
+                    bucket.append(value)
+
+        for constraint in constraints:
+            if not isinstance(constraint, App):
+                continue
+            op, a, b = constraint.op, constraint.a, constraint.b
+            if op not in _COMPARISONS:
+                continue
+            for lhs, rhs in ((a, b), (b, a)):
+                if not isinstance(rhs, Const):
+                    continue
+                targets = [rhs.value]
+                if op == "ne":
+                    targets = [mask64(rhs.value + 1), 0]
+                elif op == "slt":
+                    targets = [mask64(rhs.value - 1), 0]
+                elif op == "sge":
+                    targets = [rhs.value, mask64(rhs.value + 1)]
+                for target in targets:
+                    solved = invert(lhs, target)
+                    if solved:
+                        self.stats.inversion_hints += 1
+                        for name, value in solved.items():
+                            add(name, value)
+        for name in candidates:
+            add(name, 0)
+            add(name, 1)
+        return candidates
+
+    # -- search ----------------------------------------------------------
+
+    def find_model(
+        self,
+        constraints: Sequence[Expr],
+        *,
+        fixed: Optional[Dict[str, int]] = None,
+        extra_variables: Iterable[Var] = (),
+    ) -> Optional[Dict[str, int]]:
+        """A concrete assignment satisfying every constraint, or
+        ``None`` if the budgeted search fails (which is *not* an
+        unsatisfiability proof)."""
+        fixed = dict(fixed or {})
+        variables: Dict[str, Var] = {}
+        for constraint in constraints:
+            variables.update(support(constraint))
+        for var in extra_variables:
+            variables.setdefault(var.name, var)
+
+        # Fast refutation: a comparison against a constant no abstract
+        # valuation can reach is unsatisfiable outright.
+        for constraint in constraints:
+            if (isinstance(constraint, App) and constraint.op == "eq"
+                    and isinstance(constraint.b, Const)
+                    and cannot_equal(constraint.a, constraint.b.value)):
+                self.stats.refuted_by_domain += 1
+                return None
+
+        candidates = self._candidates(variables, constraints, fixed)
+        names = sorted(name for name in variables if name not in fixed)
+        pools = [candidates[name] for name in names]
+        for combo in itertools.islice(
+                itertools.product(*pools), self.max_models):
+            model = dict(fixed)
+            model.update(zip(names, combo))
+            self.stats.models_tried += 1
+            if all(evaluate(c, model) for c in constraints):
+                self.stats.models_found += 1
+                for name, var in variables.items():
+                    model.setdefault(name, var.preferred)
+                return model
+        return None
+
+    def may_equal(self, expr: Expr, value: int,
+                  constraints: Sequence[Expr]) -> Optional[Dict[str, int]]:
+        """A model under which ``expr == value`` alongside the path
+        constraints, or ``None`` (after a domain refutation or a failed
+        search)."""
+        self.stats.alias_queries += 1
+        if cannot_equal(expr, value):
+            self.stats.refuted_by_domain += 1
+            return None
+        goal = mk("eq", expr, Const(value))
+        return self.find_model([goal, *constraints])
+
+
+ExprLike = Union[Expr, int]
+
+
+def as_expr(value: ExprLike) -> Expr:
+    return value if isinstance(value, Expr) else Const(value)
+
+
+__all__ = [
+    "App",
+    "Const",
+    "ConstraintSolver",
+    "Expr",
+    "NEGATED_OP",
+    "OPS",
+    "SolverStats",
+    "Var",
+    "WORD_MASK",
+    "as_expr",
+    "cannot_equal",
+    "concrete_op",
+    "evaluate",
+    "exprs_equal",
+    "invert",
+    "mk",
+    "negate",
+    "support",
+    "words_disjoint",
+]

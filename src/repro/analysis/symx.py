@@ -1,0 +1,1126 @@
+"""Bounded symbolic execution for speculative noninterference.
+
+This is the third (and strongest) precision tier of the static stack:
+the taint scanner (PR 1) over-approximates, the value-set refinement
+(PR 3) refutes syntactically in-bounds chains, and this module decides
+— up to explicit budgets — whether a program is *speculatively
+noninterferent* (SNI): two runs that agree on all public initial state
+must perform identical sequences of speculatively-accessed cache line
+addresses.
+
+Semantics (always-mispredict, fork-and-die)
+-------------------------------------------
+
+The explorer executes the architectural path symbolically and, at
+every speculation source, forks a *transient* path that runs under a
+:class:`_Frame` with a bounded window ``W`` and dies when the window
+expires (its squash).  Nested sources fork nested frames up to
+``max_depth``.  Loads executed under at least one frame are recorded
+as observations (the cache-visible speculative accesses; stores and
+CLFLUSH change the hierarchy at commit time in this pipeline, so
+squashed stores are never observable).  The four transient sources:
+
+- conditional branch — the wrong direction forks (Spectre V1);
+- ``JMPI`` — an attacker-trained BTB can steer the transient path to
+  *any* program label (or the fall-through), so one fork per label
+  (Spectre V2);
+- ``RET`` — the return-address-stack prediction forks to the shadow
+  call-stack target while the architectural path follows the register
+  (ret2spec / RSB);
+- ``STORE`` — a store-bypass fork executes the younger code with the
+  store invisible (Spectre V4).
+
+``FENCE``/``RDCYCLE`` inside a frame end the transient path (the stall
+outlives the squash) — a *complete* safe end, distinct from budget
+truncation.
+
+Verdicts
+--------
+
+``LEAKY`` requires a constructive proof: the solver concretizes a
+public initial state plus two secret valuations, and the two resulting
+*concrete* always-mispredict traces (same semantics, concrete values)
+must disagree on their speculative line sequences.  The witness then
+replays on the dynamic pipeline (:mod:`repro.analysis.witness`).
+``PROVED_SAFE`` requires complete exploration (no path/step budget
+truncation) with every observation — and every transient-reachable
+branch condition — independent of secret symbols.  Anything else is
+``UNKNOWN``, with structured warnings saying which budget degraded the
+result (never a hang: all loops are budget-bounded).
+"""
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..isa.instructions import (
+    INSTRUCTION_BYTES,
+    WORD_BYTES,
+    Instruction,
+    Opcode,
+    branch_taken,
+    evaluate_alu,
+    mask64,
+)
+from ..isa.program import Program
+from ..params import MachineParams
+from .report import AnalysisReport
+from .solver import (
+    App,
+    Const,
+    ConstraintSolver,
+    Expr,
+    SolverStats,
+    Var,
+    cannot_equal,
+    evaluate,
+    exprs_equal,
+    mk,
+    negate,
+    support,
+    words_disjoint,
+)
+from .taint import DEFAULT_WINDOW
+from .witness import ReplayResult, Witness, replay_witness
+
+_WORD_ALIGN = ~(WORD_BYTES - 1)
+
+#: Default exploration budgets.  ``certify_program`` degrades to
+#: ``UNKNOWN`` (with a structured warning) when either is exhausted.
+DEFAULT_MAX_PATHS = 4096
+DEFAULT_MAX_STEPS = 200_000
+#: Default nested-misprediction depth (frames active at once).
+DEFAULT_MAX_DEPTH = 2
+
+_ALU_OP = {
+    Opcode.ADD: "add", Opcode.ADDI: "add",
+    Opcode.SUB: "sub",
+    Opcode.MUL: "mul",
+    Opcode.DIV: "div",
+    Opcode.AND: "and", Opcode.ANDI: "and",
+    Opcode.OR: "or",
+    Opcode.XOR: "xor", Opcode.XORI: "xor",
+    Opcode.SHL: "shl", Opcode.SHLI: "shl",
+    Opcode.SHR: "shr", Opcode.SHRI: "shr",
+}
+_BRANCH_OP = {
+    Opcode.BEQ: "eq",
+    Opcode.BNE: "ne",
+    Opcode.BLT: "slt",
+    Opcode.BGE: "sge",
+}
+_IMM_ALU = (Opcode.ADDI, Opcode.ANDI, Opcode.XORI, Opcode.SHLI, Opcode.SHRI)
+
+
+class Verdict(Enum):
+    """Outcome of a certification run (program- or sink-level)."""
+
+    PROVED_SAFE = "PROVED_SAFE"
+    LEAKY = "LEAKY"
+    UNKNOWN = "UNKNOWN"
+
+
+@dataclass(frozen=True)
+class _Frame:
+    """One active speculation window on a transient path."""
+
+    kind: str          # "v1" | "v2" | "v4" | "rsb"
+    source_pc: int
+    window_left: int
+    bypass_seq: int = -1   # v4: sequence number of the bypassed store
+
+
+@dataclass(frozen=True)
+class _Store:
+    seq: int
+    pc: int
+    addr: Expr
+    value: Expr
+
+
+@dataclass
+class _Path:
+    """Mutable symbolic machine state for one exploration path."""
+
+    pc: int
+    regs: Dict[int, Expr]
+    frames: Tuple[_Frame, ...] = ()
+    constraints: Tuple[Expr, ...] = ()
+    stores: Tuple[_Store, ...] = ()
+    shadow: Tuple[int, ...] = ()
+
+    def fork(self, pc: int, *, frame: Optional[_Frame] = None,
+             constraint: Optional[Expr] = None,
+             shadow: Optional[Tuple[int, ...]] = None) -> "_Path":
+        frames = self.frames + ((frame,) if frame is not None else ())
+        constraints = self.constraints
+        if constraint is not None:
+            constraints = constraints + (constraint,)
+        return _Path(
+            pc=pc,
+            regs=dict(self.regs),
+            frames=frames,
+            constraints=constraints,
+            stores=self.stores,
+            shadow=self.shadow if shadow is None else shadow,
+        )
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One speculatively-executed load: the SNI-observable event."""
+
+    pc: int
+    addr: Expr
+    kind: str
+    source_pc: int
+    depth: int
+    constraints: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class ControlCandidate:
+    """A branch/indirect-target expression that may depend on a
+    secret: a potential control-flow leak (observation *sequences*
+    diverge even when every individual address is public)."""
+
+    pc: int
+    condition: Expr
+    constraints: Tuple[Expr, ...]
+    transient: bool
+
+
+@dataclass(frozen=True)
+class LeakRecord:
+    """One confirmed leak: where, why, and the replayable witness."""
+
+    pc: int
+    kind: str
+    source_pc: int
+    channel: str               # "data" (address) or "control" (sequence)
+    witness: Witness
+    replay: Optional[ReplayResult] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "pc": self.pc,
+            "kind": self.kind,
+            "source_pc": self.source_pc,
+            "channel": self.channel,
+            "witness": self.witness.to_dict(),
+            "replay": self.replay.to_dict() if self.replay else None,
+        }
+
+
+@dataclass
+class CertifyResult:
+    """Program-level verdict plus everything needed to audit it."""
+
+    name: str
+    verdict: Verdict
+    leaks: Tuple[LeakRecord, ...]
+    observations: int
+    paths: int
+    steps: int
+    truncated: bool
+    warnings: Tuple[Dict[str, object], ...]
+    #: Observation PCs whose secret-dependence was neither confirmed
+    #: (no validating model) nor refuted — each forces ``UNKNOWN``.
+    unresolved_pcs: Tuple[int, ...]
+    #: Observation PCs proven secret-independent on every path.
+    safe_pcs: Tuple[int, ...]
+    solver_stats: SolverStats
+    secret_words: Tuple[int, ...]
+    window: int
+    max_depth: int
+    duration_s: float = 0.0
+
+    @property
+    def leaky_pcs(self) -> Tuple[int, ...]:
+        return tuple(sorted({leak.pc for leak in self.leaks}))
+
+    def verdict_for(self, sink_pc: int) -> Verdict:
+        """Per-sink verdict (finding certificates).
+
+        A sink is ``LEAKY`` when a confirmed leak observes at it,
+        ``PROVED_SAFE`` when exploration completed and no unresolved
+        observation touches it (a sink never speculatively reached, or
+        reached only with public addresses, is safe), else ``UNKNOWN``.
+        """
+        if sink_pc in self.leaky_pcs:
+            return Verdict.LEAKY
+        if not self.truncated and sink_pc not in self.unresolved_pcs:
+            return Verdict.PROVED_SAFE
+        return Verdict.UNKNOWN
+
+    def leak_at(self, sink_pc: int) -> Optional[LeakRecord]:
+        for leak in self.leaks:
+            if leak.pc == sink_pc:
+                return leak
+        return None
+
+    def render(self) -> str:
+        lines = [
+            f"certify: {self.name}  verdict {self.verdict.value}  "
+            f"({self.paths} path(s), {self.steps} step(s), "
+            f"{self.observations} observation(s)"
+            + (", TRUNCATED" if self.truncated else "") + ")"
+        ]
+        for leak in self.leaks:
+            status = "no replay"
+            if leak.replay is not None:
+                status = ("reproduced" if leak.replay.reproduced
+                          else "NOT reproduced")
+            lines.append(
+                f"  LEAKY [{leak.kind}/{leak.channel}] sink {leak.pc:#x} "
+                f"source {leak.source_pc:#x}  dynamic replay: {status}"
+            )
+        for warning in self.warnings:
+            lines.append(f"  warning: {warning.get('kind')}: "
+                         f"{warning.get('detail')}")
+        if self.verdict is Verdict.UNKNOWN and self.unresolved_pcs:
+            pcs = ", ".join(f"{pc:#x}" for pc in self.unresolved_pcs)
+            lines.append(f"  unresolved observation(s) at {pcs}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "verdict": self.verdict.value,
+            "leaks": [leak.to_dict() for leak in self.leaks],
+            "observations": self.observations,
+            "paths": self.paths,
+            "steps": self.steps,
+            "truncated": self.truncated,
+            "warnings": list(self.warnings),
+            "unresolved_pcs": list(self.unresolved_pcs),
+            "safe_pcs": list(self.safe_pcs),
+            "solver": self.solver_stats.to_dict(),
+            "secret_words": list(self.secret_words),
+            "window": self.window,
+            "max_depth": self.max_depth,
+            "duration_s": self.duration_s,
+        }
+
+
+class PathBudgetExceeded(Exception):
+    """Internal signal: exploration hit ``max_paths``/``max_steps``."""
+
+    def __init__(self, warning: Dict[str, object]) -> None:
+        super().__init__(warning["detail"])
+        self.warning = warning
+
+
+# ---------------------------------------------------------------------------
+# Symbolic exploration
+# ---------------------------------------------------------------------------
+
+
+class _Explorer:
+    def __init__(self, program: Program, secret_words: Sequence[int],
+                 *, window: int, max_depth: int, max_paths: int,
+                 max_steps: int, solver: ConstraintSolver) -> None:
+        self.program = program
+        self.imap: Dict[int, Instruction] = dict(program.iter_addressed())
+        self.image = dict(program.initial_memory)
+        self.labels = tuple(sorted(set(program.labels.values())))
+        self.secret_words = tuple(sorted(
+            mask64(word) & _WORD_ALIGN for word in secret_words))
+        self.window = window
+        self.max_depth = max_depth
+        self.max_paths = max_paths
+        self.max_steps = max_steps
+        self.solver = solver
+
+        self.observations: List[Observation] = []
+        self.control_candidates: List[ControlCandidate] = []
+        #: Fresh symbols for symbolic-address reads: name -> the read's
+        #: address expression (the witness builder warms these lines).
+        self.var_read_addr: Dict[str, Expr] = {}
+        #: Aliasing assumptions backing a fresh symbol's secret tag:
+        #: name -> (eq(addr, secret_word), ...) to seed leak models.
+        self.var_hints: Dict[str, Tuple[Expr, ...]] = {}
+        self._initial_syms: Dict[int, Var] = {}
+        self._fresh = 0
+        self._store_seq = 0
+        self.paths = 0
+        self.steps = 0
+        self.truncated = False
+        self.warnings: List[Dict[str, object]] = []
+
+    # -- symbolic initial state -----------------------------------------
+
+    def initial_word(self, word: int) -> Var:
+        """The (memoized) symbol for one word of initial memory.
+
+        Every word is a free public symbol whose *preferred* value is
+        the program image's (SNI quantifies over all initial states
+        agreeing on public data; concretization stays near the image).
+        Words listed in ``secret_words`` carry the secret tag.
+        """
+        sym = self._initial_syms.get(word)
+        if sym is None:
+            secret = word in self.secret_words
+            prefix = "secret" if secret else "mem"
+            sym = Var(f"{prefix}_{word:x}", secret=secret,
+                      preferred=self.image.get(word, 0), origin_word=word)
+            self._initial_syms[word] = sym
+        return sym
+
+    def _fresh_read(self, pc: int, addr: Expr, secret: bool,
+                    hints: Tuple[Expr, ...]) -> Var:
+        self._fresh += 1
+        sym = Var(f"load_{pc:x}_{self._fresh}", secret=secret)
+        self.var_read_addr[sym.name] = addr
+        if hints:
+            self.var_hints[sym.name] = hints
+        return sym
+
+    def _read_initial(self, pc: int, addr: Expr,
+                      constraints: Tuple[Expr, ...]) -> Expr:
+        if isinstance(addr, Const):
+            return self.initial_word(addr.value & _WORD_ALIGN)
+        # Symbolic address: decide whether it may reach a secret word.
+        secret = False
+        hints: List[Expr] = []
+        for word in self.secret_words:
+            if cannot_equal(addr, word) and words_disjoint(addr, Const(word)):
+                continue
+            model = self.solver.may_equal(addr, word, constraints)
+            if model is not None:
+                secret = True
+                hints.append(mk("eq", addr, Const(word)))
+            elif not (cannot_equal(addr, word)
+                      or words_disjoint(addr, Const(word))):
+                # Not provably disjoint and not concretizable either:
+                # stay conservative (may force UNKNOWN, never a miss).
+                secret = True
+        return self._fresh_read(pc, addr, secret, tuple(hints))
+
+    def _read(self, path: _Path, pc: int, addr: Expr) -> Expr:
+        bypassed = {frame.bypass_seq for frame in path.frames
+                    if frame.bypass_seq >= 0}
+        may_secret = False
+        saw_may_alias = False
+        for store in reversed(path.stores):
+            if store.seq in bypassed:
+                continue
+            must = exprs_equal(store.addr, addr) or (
+                isinstance(store.addr, Const) and isinstance(addr, Const)
+                and (store.addr.value & _WORD_ALIGN)
+                == (addr.value & _WORD_ALIGN))
+            if must:
+                if not saw_may_alias:
+                    return store.value
+                may_secret = may_secret or store.value.secret
+                break
+            if words_disjoint(store.addr, addr):
+                continue
+            saw_may_alias = True
+            may_secret = may_secret or store.value.secret
+        initial = self._read_initial(pc, addr, path.constraints)
+        if not saw_may_alias:
+            return initial
+        # Ambiguous forwarding: the value is one of several sources.
+        sym = self._fresh_read(pc, addr, may_secret or initial.secret,
+                               self.var_hints.get(
+                                   initial.name if isinstance(initial, Var)
+                                   else "", ()))
+        return sym
+
+    # -- exploration ------------------------------------------------------
+
+    def _charge_step(self) -> None:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise PathBudgetExceeded({
+                "kind": "step_budget",
+                "max_steps": self.max_steps,
+                "steps": self.steps,
+                "paths": self.paths,
+                "detail": f"symbolic step budget exhausted "
+                          f"({self.max_steps} steps); verdict degrades "
+                          f"to UNKNOWN",
+            })
+
+    def _charge_path(self) -> None:
+        self.paths += 1
+        if self.paths > self.max_paths:
+            raise PathBudgetExceeded({
+                "kind": "path_budget",
+                "max_paths": self.max_paths,
+                "paths": self.paths,
+                "steps": self.steps,
+                "detail": f"symbolic path budget exhausted "
+                          f"({self.max_paths} paths); verdict degrades "
+                          f"to UNKNOWN",
+            })
+
+    def explore(self) -> None:
+        entry = self.program.entry_point
+        if entry is None:
+            entry = self.program.base_address
+        stack: List[_Path] = [_Path(pc=entry, regs={})]
+        self._charge_path()
+        try:
+            while stack:
+                path = stack.pop()
+                self._run_path(path, stack)
+        except PathBudgetExceeded as exc:
+            self.truncated = True
+            self.warnings.append(exc.warning)
+
+    def _reg(self, path: _Path, index: int) -> Expr:
+        if index == 0:
+            return Const(0)
+        return path.regs.get(index, Const(0))
+
+    def _write_reg(self, path: _Path, index: Optional[int],
+                   value: Expr) -> None:
+        if index:
+            path.regs[index] = value
+
+    def _push_fork(self, stack: List[_Path], fork: _Path) -> None:
+        self._charge_path()
+        stack.append(fork)
+
+    def _record_observation(self, path: _Path, pc: int,
+                            addr: Expr) -> None:
+        innermost = path.frames[-1]
+        self.observations.append(Observation(
+            pc=pc,
+            addr=addr,
+            kind=innermost.kind,
+            source_pc=innermost.source_pc,
+            depth=len(path.frames),
+            constraints=path.constraints,
+        ))
+
+    def _record_control(self, path: _Path, pc: int, cond: Expr) -> None:
+        if cond.secret:
+            self.control_candidates.append(ControlCandidate(
+                pc=pc,
+                condition=cond,
+                constraints=path.constraints,
+                transient=bool(path.frames),
+            ))
+
+    def _tick_frames(self, path: _Path) -> bool:
+        """Advance every active window; True while the path lives."""
+        if not path.frames:
+            return True
+        frames = tuple(replace(f, window_left=f.window_left - 1)
+                       for f in path.frames)
+        if any(f.window_left <= 0 for f in frames):
+            return False
+        path.frames = frames
+        return True
+
+    def _run_path(self, path: _Path, stack: List[_Path]) -> None:
+        while True:
+            instr = self.imap.get(path.pc)
+            if instr is None:
+                return  # control left the program image: path ends
+            self._charge_step()
+            pc = path.pc
+            op = instr.op
+            next_pc = pc + INSTRUCTION_BYTES
+
+            if op is Opcode.HALT:
+                return
+            if instr.is_serializing:  # FENCE / RDCYCLE
+                if path.frames:
+                    return  # stalls until the squash: transient path dies
+                if op is Opcode.RDCYCLE:
+                    # Architectural timer read: harmless for SNI (the
+                    # value is public); model as a fresh public symbol.
+                    self._fresh += 1
+                    self._write_reg(path, instr.rd,
+                                    Var(f"rdcycle_{pc:x}_{self._fresh}"))
+                path.pc = next_pc
+                if not self._tick_frames(path):
+                    return
+                continue
+            if op in (Opcode.NOP, Opcode.CLFLUSH):
+                pass
+            elif op is Opcode.LI:
+                self._write_reg(path, instr.rd, Const(instr.imm))
+            elif op is Opcode.MOV:
+                self._write_reg(path, instr.rd, self._reg(path, instr.rs1))
+            elif op in _ALU_OP:
+                a = self._reg(path, instr.rs1)
+                b = (Const(instr.imm) if op in _IMM_ALU
+                     else self._reg(path, instr.rs2))
+                self._write_reg(path, instr.rd, mk(_ALU_OP[op], a, b))
+            elif op is Opcode.LOAD:
+                addr = mk("add", self._reg(path, instr.rs1),
+                          Const(instr.imm))
+                if path.frames:
+                    self._record_observation(path, pc, addr)
+                self._write_reg(path, instr.rd, self._read(path, pc, addr))
+            elif op is Opcode.STORE:
+                addr = mk("add", self._reg(path, instr.rs1),
+                          Const(instr.imm))
+                value = self._reg(path, instr.rs2)
+                self._store_seq += 1
+                seq = self._store_seq
+                if len(path.frames) < self.max_depth:
+                    self._push_fork(stack, path.fork(
+                        next_pc,
+                        frame=_Frame("v4", pc, self.window,
+                                     bypass_seq=seq)))
+                path.stores = path.stores + (_Store(seq, pc, addr, value),)
+            elif op is Opcode.JMP:
+                path.pc = instr.target
+                if not self._tick_frames(path):
+                    return
+                continue
+            elif op is Opcode.CALL:
+                self._write_reg(path, instr.rd, Const(next_pc))
+                path.shadow = path.shadow + (next_pc,)
+                path.pc = instr.target
+                if not self._tick_frames(path):
+                    return
+                continue
+            elif op in (Opcode.JMPI, Opcode.RET):
+                target = self._reg(path, instr.rs1)
+                self._record_control(path, pc, target)
+                shadow = path.shadow
+                if op is Opcode.RET and shadow:
+                    predicted: Optional[int] = shadow[-1]
+                    shadow = shadow[:-1]
+                else:
+                    predicted = None
+                path.shadow = shadow
+                if len(path.frames) < self.max_depth:
+                    if op is Opcode.JMPI:
+                        # Attacker-trained BTB: steer anywhere.
+                        for steer in (*self.labels, next_pc):
+                            self._push_fork(stack, path.fork(
+                                steer, frame=_Frame("v2", pc, self.window)))
+                    elif predicted is not None:
+                        self._push_fork(stack, path.fork(
+                            predicted, frame=_Frame("rsb", pc, self.window)))
+                # Architectural continuation: follow the register.
+                if isinstance(target, Const):
+                    arch_target = target.value
+                    constraint: Optional[Expr] = None
+                else:
+                    arch_target = evaluate(target, {})
+                    constraint = mk("eq", target, Const(arch_target))
+                if constraint is not None:
+                    path.constraints = path.constraints + (constraint,)
+                if arch_target not in self.imap:
+                    return
+                path.pc = arch_target
+                if not self._tick_frames(path):
+                    return
+                continue
+            elif instr.is_conditional_branch:
+                cond = mk(_BRANCH_OP[op], self._reg(path, instr.rs1),
+                          self._reg(path, instr.rs2))
+                self._record_control(path, pc, cond)
+                fork_ok = len(path.frames) < self.max_depth
+                if isinstance(cond, Const):
+                    taken = bool(cond.value)
+                    arch = instr.target if taken else next_pc
+                    wrong = next_pc if taken else instr.target
+                    if fork_ok:
+                        self._push_fork(stack, path.fork(
+                            wrong, frame=_Frame("v1", pc, self.window)))
+                    path.pc = arch
+                else:
+                    # Both architectural directions are feasible a
+                    # priori; each forks its own transient twin.
+                    taken_path = path.fork(instr.target, constraint=cond)
+                    self._push_fork(stack, taken_path)
+                    if fork_ok:
+                        self._push_fork(stack, taken_path.fork(
+                            next_pc, frame=_Frame("v1", pc, self.window)))
+                        self._push_fork(stack, path.fork(
+                            instr.target,
+                            frame=_Frame("v1", pc, self.window),
+                            constraint=negate(cond)))
+                    path.constraints = path.constraints + (negate(cond),)
+                    path.pc = next_pc
+                if not self._tick_frames(path):
+                    return
+                continue
+            else:
+                raise AssertionError(f"unhandled opcode {op}")
+
+            path.pc = next_pc
+            if not self._tick_frames(path):
+                return
+
+
+# ---------------------------------------------------------------------------
+# Concrete always-mispredict reference trace (witness validation)
+# ---------------------------------------------------------------------------
+
+
+def concrete_speculative_trace(
+    program: Program,
+    overrides: Mapping[int, int],
+    *,
+    window: int = DEFAULT_WINDOW,
+    max_depth: int = DEFAULT_MAX_DEPTH,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    line_bytes: int = 64,
+) -> List[Tuple[int, int]]:
+    """The ordered speculative observation sequence ``[(pc, line)]`` of
+    one concrete initial state under the same always-mispredict
+    semantics the symbolic explorer uses.
+
+    This is the ground truth for witness validation: a ``LEAKY``
+    verdict requires two concrete initial states (equal publics,
+    different secrets) whose traces differ.  Deterministic by
+    construction — no randomness, no clocks.
+    """
+    imap: Dict[int, Instruction] = dict(program.iter_addressed())
+    labels = tuple(sorted(set(program.labels.values())))
+    base_memory = dict(program.initial_memory)
+    base_memory.update({mask64(a) & _WORD_ALIGN: mask64(v)
+                        for a, v in overrides.items()})
+    observations: List[Tuple[int, int]] = []
+    budget = [max_steps]
+
+    def run(pc: int, regs: List[int], memory: Dict[int, int],
+            shadow: List[int], windows: Tuple[int, ...]) -> None:
+        speculative = bool(windows)
+        while True:
+            if windows and min(windows) <= 0:
+                return
+            if budget[0] <= 0:
+                return
+            budget[0] -= 1
+            instr = imap.get(pc)
+            if instr is None:
+                return
+            op = instr.op
+            next_pc = pc + INSTRUCTION_BYTES
+            windows = tuple(w - 1 for w in windows)
+            if op is Opcode.HALT:
+                return
+            if instr.is_serializing:
+                if speculative:
+                    return
+                if op is Opcode.RDCYCLE and instr.rd:
+                    regs[instr.rd] = 0
+                pc = next_pc
+                continue
+            if op in (Opcode.NOP, Opcode.CLFLUSH):
+                pc = next_pc
+                continue
+            if op is Opcode.LI:
+                if instr.rd:
+                    regs[instr.rd] = mask64(instr.imm)
+            elif op is Opcode.MOV:
+                if instr.rd:
+                    regs[instr.rd] = regs[instr.rs1]
+            elif op in _ALU_OP:
+                b = (mask64(instr.imm) if op in _IMM_ALU
+                     else regs[instr.rs2])
+                if instr.rd:
+                    regs[instr.rd] = evaluate_alu(op, regs[instr.rs1], b)
+            elif op is Opcode.LOAD:
+                vaddr = mask64(regs[instr.rs1] + instr.imm)
+                if speculative:
+                    observations.append((pc, vaddr // line_bytes))
+                if instr.rd:
+                    regs[instr.rd] = memory.get(vaddr & _WORD_ALIGN, 0)
+            elif op is Opcode.STORE:
+                vaddr = mask64(regs[instr.rs1] + instr.imm)
+                if len(windows) < max_depth:
+                    # Store-bypass fork runs on the pre-store memory.
+                    run(next_pc, list(regs), dict(memory), list(shadow),
+                        windows + (window,))
+                memory[vaddr & _WORD_ALIGN] = regs[instr.rs2]
+            elif op is Opcode.JMP:
+                pc = instr.target
+                continue
+            elif op is Opcode.CALL:
+                if instr.rd:
+                    regs[instr.rd] = next_pc
+                shadow.append(next_pc)
+                pc = instr.target
+                continue
+            elif op in (Opcode.JMPI, Opcode.RET):
+                target = regs[instr.rs1]
+                predicted = None
+                if op is Opcode.RET and shadow:
+                    predicted = shadow.pop()
+                if len(windows) < max_depth:
+                    if op is Opcode.JMPI:
+                        for steer in (*labels, next_pc):
+                            run(steer, list(regs), dict(memory),
+                                list(shadow), windows + (window,))
+                    elif predicted is not None:
+                        run(predicted, list(regs), dict(memory),
+                            list(shadow), windows + (window,))
+                if target not in imap:
+                    return
+                pc = target
+                continue
+            elif instr.is_conditional_branch:
+                taken = branch_taken(op, regs[instr.rs1], regs[instr.rs2])
+                arch = instr.target if taken else next_pc
+                wrong = next_pc if taken else instr.target
+                if len(windows) < max_depth:
+                    run(wrong, list(regs), dict(memory), list(shadow),
+                        windows + (window,))
+                pc = arch
+                continue
+            pc = next_pc
+
+    entry = program.entry_point
+    if entry is None:
+        entry = program.base_address
+    run(entry, [0] * 64, base_memory, [], ())
+    return observations
+
+
+# ---------------------------------------------------------------------------
+# Certification driver
+# ---------------------------------------------------------------------------
+
+
+def _first_divergence(
+    trace_a: Sequence[Tuple[int, int]],
+    trace_b: Sequence[Tuple[int, int]],
+) -> Optional[Tuple[int, int]]:
+    """The first pair of differing line indices, or ``None``."""
+    for (pc_a, line_a), (pc_b, line_b) in zip(trace_a, trace_b):
+        if line_a != line_b:
+            return line_a, line_b
+        if pc_a != pc_b:
+            # Same line via different code: sequences already diverged
+            # in control; the next differing line decides, keep going.
+            continue
+    if len(trace_a) != len(trace_b):
+        longer = trace_a if len(trace_a) > len(trace_b) else trace_b
+        line = longer[min(len(trace_a), len(trace_b))][1]
+        return line, line
+    return None
+
+
+def _secret_variants(value: int) -> Tuple[int, ...]:
+    """Alternative secret values to try against a base model (ordered,
+    deterministic; early entries shift transmit lines by whole cache
+    lines for common stride encodings)."""
+    return tuple(dict.fromkeys(mask64(v) for v in (
+        value + 1, value - 1, value ^ 1, value + 64, 0 if value else 1,
+        value + 7,
+    )))
+
+
+class _CertifyContext:
+    """Shared machinery for validating leak candidates."""
+
+    def __init__(self, explorer: _Explorer, program: Program,
+                 *, window: int, max_depth: int, max_steps: int,
+                 line_bytes: int) -> None:
+        self.explorer = explorer
+        self.program = program
+        self.window = window
+        self.max_depth = max_depth
+        self.max_steps = max_steps
+        self.line_bytes = line_bytes
+        self._trace_cache: Dict[Tuple[Tuple[int, int], ...],
+                                List[Tuple[int, int]]] = {}
+
+    def model_overrides(self, model: Mapping[str, int]) -> Dict[int, int]:
+        """Project a model onto concrete initial-memory words."""
+        overrides: Dict[int, int] = {}
+        for word, var in self.explorer._initial_syms.items():
+            if var.name in model:
+                overrides[word] = mask64(model[var.name])
+        return overrides
+
+    def trace(self, overrides: Mapping[int, int]) -> List[Tuple[int, int]]:
+        key = tuple(sorted(overrides.items()))
+        cached = self._trace_cache.get(key)
+        if cached is None:
+            cached = concrete_speculative_trace(
+                self.program, overrides,
+                window=self.window, max_depth=self.max_depth,
+                max_steps=self.max_steps, line_bytes=self.line_bytes)
+            self._trace_cache[key] = cached
+        return cached
+
+    def secret_word_of(self, var: Var,
+                       model: Mapping[str, int]) -> Optional[int]:
+        """The declared-secret memory word ``var`` stands for.
+
+        Initial-memory symbols carry it directly; a fresh symbol from a
+        symbolic-address read resolves through the read's address
+        expression under ``model`` (and must land on a declared secret
+        word — perturbing anything else would change *public* state
+        and invalidate the counterexample)."""
+        if var.origin_word is not None:
+            return var.origin_word
+        read_addr = self.explorer.var_read_addr.get(var.name)
+        if read_addr is None:
+            return None
+        word = mask64(evaluate(read_addr, dict(model))) & _WORD_ALIGN
+        return word if word in self.explorer.secret_words else None
+
+    def validate(
+        self,
+        model: Mapping[str, int],
+        secret_vars: Sequence[Var],
+    ) -> Optional[Tuple[Dict[int, int], Dict[int, int], Dict[int, int],
+                        Tuple[int, int]]]:
+        """Search secret perturbations of ``model`` whose concrete
+        traces diverge.  Returns (public overrides, secrets A,
+        secrets B, (line_a, line_b)) or ``None``."""
+        overrides = self.model_overrides(model)
+        secrets_a: Dict[int, int] = {}
+        for var in secret_vars:
+            word = self.secret_word_of(var, model)
+            if word is not None:
+                secrets_a.setdefault(
+                    word, mask64(model.get(var.name, var.preferred)))
+        publics = {word: value for word, value in overrides.items()
+                   if word not in secrets_a}
+        base_trace = self.trace({**publics, **secrets_a})
+        for word in sorted(secrets_a):
+            for variant in _secret_variants(secrets_a[word]):
+                if variant == secrets_a[word]:
+                    continue
+                secrets_b = dict(secrets_a)
+                secrets_b[word] = variant
+                other_trace = self.trace({**publics, **secrets_b})
+                divergence = _first_divergence(base_trace, other_trace)
+                if divergence is not None:
+                    return publics, secrets_a, secrets_b, divergence
+        return None
+
+    def warm_words(self, exprs: Iterable[Expr],
+                   model: Mapping[str, int]) -> Tuple[int, ...]:
+        """The initial-memory lines a replay should stage warm: every
+        word feeding the observed address chain — transitively, through
+        the *addresses* of the loads in the chain (the victim recently
+        touched its own data — the standard Spectre assumption).
+        Trigger-only inputs (a bounds-check size, a return-target word)
+        are not in the chain and stay cold, keeping the window open."""
+        words: Set[int] = set()
+        seen: Set[str] = set()
+        concrete = dict(model)
+        work: List[Expr] = list(exprs)
+        while work:
+            expr = work.pop()
+            for var in support(expr).values():
+                if var.name in seen:
+                    continue
+                seen.add(var.name)
+                if var.origin_word is not None:
+                    words.add(var.origin_word)
+                    continue
+                read_addr = self.explorer.var_read_addr.get(var.name)
+                if read_addr is not None:
+                    words.add(mask64(evaluate(read_addr, concrete))
+                              & _WORD_ALIGN)
+                    work.append(read_addr)
+        return tuple(sorted(words))
+
+
+def certify_program(
+    program: Program,
+    *,
+    secret_words: Iterable[int] = (),
+    window: int = DEFAULT_WINDOW,
+    max_depth: int = DEFAULT_MAX_DEPTH,
+    max_paths: int = DEFAULT_MAX_PATHS,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    replay: bool = True,
+    machine: Optional[MachineParams] = None,
+    fault_plan: Optional[object] = None,
+    max_leaks: int = 16,
+    name: str = "program",
+) -> CertifyResult:
+    """Certify ``program`` speculatively noninterferent — or refute it
+    with a replayable counterexample.
+
+    See the module docstring for semantics.  ``replay`` additionally
+    runs every witness on the dynamic pipeline (``Processor`` in
+    unsafe ORIGIN mode); disable it for purely symbolic studies.
+    """
+    started = time.perf_counter()
+    secrets = tuple(sorted(set(mask64(w) & _WORD_ALIGN
+                               for w in secret_words)))
+    solver = ConstraintSolver()
+    explorer = _Explorer(program, secrets, window=window,
+                         max_depth=max_depth, max_paths=max_paths,
+                         max_steps=max_steps, solver=solver)
+    explorer.explore()
+
+    line_bytes = machine.memory.line_bytes if machine is not None else 64
+    context = _CertifyContext(explorer, program, window=window,
+                              max_depth=max_depth, max_steps=max_steps,
+                              line_bytes=line_bytes)
+
+    leaks: List[LeakRecord] = []
+    leaky_pcs: Set[int] = set()
+    unresolved: Set[int] = set()
+    safe: Set[int] = set()
+
+    for obs in explorer.observations:
+        if not obs.addr.secret:
+            safe.add(obs.pc)
+            continue
+        if obs.pc in leaky_pcs or obs.pc in unresolved:
+            continue
+        if len(leaks) >= max_leaks:
+            unresolved.add(obs.pc)
+            continue
+        secret_vars = sorted(
+            (var for var in support(obs.addr).values() if var.secret),
+            key=lambda var: var.name)
+        hints: List[Expr] = []
+        for var in secret_vars:
+            hints.extend(explorer.var_hints.get(var.name, ()))
+        model = solver.find_model(
+            [*obs.constraints, *hints],
+            extra_variables=support(obs.addr).values())
+        outcome = (context.validate(model, secret_vars)
+                   if model is not None else None)
+        if outcome is None:
+            unresolved.add(obs.pc)
+            continue
+        publics, secrets_a, secrets_b, lines = outcome
+        witness = Witness(
+            kind=obs.kind,
+            source_pc=obs.source_pc,
+            sink_pc=obs.pc,
+            public_memory=tuple(sorted(publics.items())),
+            secret_memory_a=tuple(sorted(secrets_a.items())),
+            secret_memory_b=tuple(sorted(secrets_b.items())),
+            warm_words=context.warm_words([obs.addr], model or {}),
+            predicted_lines=tuple(sorted(set(lines))),
+            line_bytes=line_bytes,
+        )
+        replayed = (replay_witness(program, witness, machine=machine,
+                                   fault_plan=fault_plan)
+                    if replay else None)
+        leaks.append(LeakRecord(pc=obs.pc, kind=obs.kind,
+                                source_pc=obs.source_pc, channel="data",
+                                witness=witness, replay=replayed))
+        leaky_pcs.add(obs.pc)
+
+    # Control-flow candidates: secret-dependent branch conditions or
+    # indirect targets (sequence leaks).
+    for candidate in explorer.control_candidates:
+        if candidate.pc in leaky_pcs or candidate.pc in unresolved:
+            continue
+        if len(leaks) >= max_leaks:
+            unresolved.add(candidate.pc)
+            continue
+        secret_vars = sorted(
+            (var for var in support(candidate.condition).values()
+             if var.secret),
+            key=lambda var: var.name)
+        model = solver.find_model(
+            list(candidate.constraints),
+            extra_variables=support(candidate.condition).values())
+        outcome = (context.validate(model, secret_vars)
+                   if model is not None else None)
+        if outcome is None:
+            unresolved.add(candidate.pc)
+            continue
+        publics, secrets_a, secrets_b, lines = outcome
+        witness = Witness(
+            kind="control",
+            source_pc=candidate.pc,
+            sink_pc=candidate.pc,
+            public_memory=tuple(sorted(publics.items())),
+            secret_memory_a=tuple(sorted(secrets_a.items())),
+            secret_memory_b=tuple(sorted(secrets_b.items())),
+            warm_words=context.warm_words(
+                [candidate.condition], model or {}),
+            predicted_lines=tuple(sorted(set(lines))),
+            line_bytes=line_bytes,
+        )
+        replayed = (replay_witness(program, witness, machine=machine,
+                                   fault_plan=fault_plan)
+                    if replay else None)
+        leaks.append(LeakRecord(pc=candidate.pc, kind="control",
+                                source_pc=candidate.pc, channel="control",
+                                witness=witness, replay=replayed))
+        leaky_pcs.add(candidate.pc)
+
+    unresolved -= leaky_pcs
+    safe -= leaky_pcs | unresolved
+
+    if leaks:
+        verdict = Verdict.LEAKY
+    elif explorer.truncated or unresolved:
+        verdict = Verdict.UNKNOWN
+        if unresolved and not explorer.truncated:
+            explorer.warnings.append({
+                "kind": "unresolved_observations",
+                "pcs": sorted(unresolved),
+                "detail": "secret-tainted observation(s) could neither "
+                          "be confirmed leaky nor proven safe within "
+                          "the solver budget",
+            })
+    else:
+        verdict = Verdict.PROVED_SAFE
+
+    return CertifyResult(
+        name=name,
+        verdict=verdict,
+        leaks=tuple(leaks),
+        observations=len(explorer.observations),
+        paths=explorer.paths,
+        steps=explorer.steps,
+        truncated=explorer.truncated,
+        warnings=tuple(explorer.warnings),
+        unresolved_pcs=tuple(sorted(unresolved)),
+        safe_pcs=tuple(sorted(safe)),
+        solver_stats=solver.stats,
+        secret_words=secrets,
+        window=window,
+        max_depth=max_depth,
+        duration_s=time.perf_counter() - started,
+    )
+
+
+def finding_certificates(
+    result: CertifyResult,
+    report: AnalysisReport,
+) -> Dict[int, Dict[str, object]]:
+    """Per-finding ``certificate`` blocks for the analyze JSON schema
+    (v3): the certifier's verdict *for that sink*, plus the witness,
+    its dynamic replay, and the solver statistics backing the run."""
+    blocks: Dict[int, Dict[str, object]] = {}
+    for finding in report.findings:
+        verdict = result.verdict_for(finding.sink_pc)
+        leak = result.leak_at(finding.sink_pc)
+        blocks[finding.sink_pc] = {
+            "verdict": verdict.value,
+            "witness": (leak.witness.to_dict()
+                        if leak is not None else None),
+            "replay": (leak.replay.to_dict()
+                       if leak is not None and leak.replay is not None
+                       else None),
+            "solver": result.solver_stats.to_dict(),
+        }
+    return blocks
+
+
+__all__ = [
+    "CertifyResult",
+    "ControlCandidate",
+    "DEFAULT_MAX_DEPTH",
+    "DEFAULT_MAX_PATHS",
+    "DEFAULT_MAX_STEPS",
+    "LeakRecord",
+    "Observation",
+    "Verdict",
+    "certify_program",
+    "concrete_speculative_trace",
+    "finding_certificates",
+]

@@ -5,9 +5,15 @@ Commands:
 - ``run``      - assemble and simulate a program file.
 - ``analyze``  - statically scan a program for Spectre gadgets;
   ``--refine`` applies value-set refutation, ``--fix`` synthesizes a
-  minimal fence placement and verifies it.  Programs are either
-  assembly files or ``corpus:<kind>[:<variant>]`` specs naming a
-  built-in gadget driver (e.g. ``corpus:v1:masked``).
+  minimal fence placement and verifies it, ``--certify`` runs the
+  symbolic speculative-noninterference certifier and attaches a
+  per-finding certificate.  Programs are either assembly files or
+  ``corpus:<kind>[:<variant>]`` specs naming a built-in gadget driver
+  (e.g. ``corpus:v1:masked``).
+- ``certify``  - symbolically certify programs speculatively
+  noninterferent (``PROVED_SAFE``) or refute them with a concrete
+  witness replayed on the unsafe pipeline (``LEAKY``); budget
+  exhaustion degrades to ``UNKNOWN`` and a non-zero exit.
 - ``attack``   - run a Spectre PoC under a protection mode.
 - ``bench``    - simulate a SPEC profile under one or all modes, or
   (``--suite``) run the performance harness: simulated-instructions/sec
@@ -17,6 +23,8 @@ Commands:
   and optional fault injection (``--inject``).
 - ``fence``    - fence overhead study: unsafe vs fence-all vs
   synthesized fences vs the hardware filters.
+- ``precision`` - static precision study: taint vs +valueset vs
+  +symx over the corpus and SPEC-like workloads.
 - ``figure5`` / ``table4`` / ``table5`` / ``table6`` / ``lru`` /
   ``area``   - regenerate a paper artifact.
 
@@ -156,8 +164,11 @@ def _load_analysis_program(spec: str):
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from .analysis import (
         DEFAULT_WINDOW,
+        Verdict,
         analyze_program,
+        certify_program,
         cross_validate,
+        finding_certificates,
         oracle_equivalent,
         refine_report,
         synthesize_fences,
@@ -183,7 +194,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if args.fix:
         synthesis = synthesize_fences(
             program, window=window, secret_words=secrets,
-            name=args.program,
+            certify=args.certify, name=args.program,
         )
         print()
         print(synthesis.render())
@@ -197,14 +208,32 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 return 1
         if not synthesis.clean:
             return 1
+        if args.certify and not synthesis.certified:
+            return 1
+    certified = None
+    if args.certify:
+        from .analysis.symx import DEFAULT_MAX_PATHS
+
+        certified = certify_program(
+            program, secret_words=secrets, window=window,
+            max_paths=(args.max_paths if args.max_paths is not None
+                       else DEFAULT_MAX_PATHS),
+            name=args.program,
+        )
+        print()
+        print(certified.render())
     if args.json:
         import json
 
-        document = report.to_dict()
+        certificates = (finding_certificates(certified, report)
+                        if certified is not None else None)
+        document = report.to_dict(certificates=certificates)
         if refined is not None:
             document["refinement"] = refined.to_dict()
         if synthesis is not None:
             document["fence_synthesis"] = synthesis.to_dict()
+        if certified is not None:
+            document["certify"] = certified.to_dict()
         with open(args.json, "w") as handle:
             json.dump(document, handle, indent=2)
         print(f"wrote {args.json}")
@@ -222,7 +251,69 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             else report.findings
         if surviving:
             return 1
+    if certified is not None:
+        if certified.verdict is Verdict.UNKNOWN:
+            return 1
+        if any(leak.replay is not None and not leak.replay.reproduced
+               for leak in certified.leaks):
+            return 1
     return 0
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    from .analysis import DEFAULT_WINDOW, Verdict, certify_program
+    from .analysis.symx import (
+        DEFAULT_MAX_DEPTH,
+        DEFAULT_MAX_PATHS,
+        DEFAULT_MAX_STEPS,
+    )
+
+    machine = _machine(args)
+    window = args.window if args.window is not None else DEFAULT_WINDOW
+    max_depth = (args.max_depth if args.max_depth is not None
+                 else DEFAULT_MAX_DEPTH)
+    max_paths = (args.max_paths if args.max_paths is not None
+                 else DEFAULT_MAX_PATHS)
+    max_steps = (args.max_steps if args.max_steps is not None
+                 else DEFAULT_MAX_STEPS)
+    exit_code = 0
+    documents = []
+    for spec in args.programs:
+        try:
+            program, default_secrets = _load_analysis_program(spec)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        secrets = tuple(int(word, 0) for word in args.secret) \
+            if args.secret else tuple(default_secrets)
+        result = certify_program(
+            program,
+            secret_words=secrets,
+            window=window,
+            max_depth=max_depth,
+            max_paths=max_paths,
+            max_steps=max_steps,
+            replay=not args.no_replay,
+            machine=machine,
+            name=spec,
+        )
+        print(result.render())
+        documents.append(result.to_dict())
+        if result.verdict is Verdict.UNKNOWN:
+            exit_code = 1
+        elif result.verdict is Verdict.LEAKY:
+            if any(leak.replay is not None and not leak.replay.reproduced
+                   for leak in result.leaks):
+                exit_code = 1
+            if args.fail_on_leak:
+                exit_code = 1
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump({"results": documents}, handle, indent=2)
+        print(f"wrote {args.json}")
+    return exit_code
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
@@ -314,6 +405,31 @@ def _cmd_fence(args: argparse.Namespace) -> int:
         scale=args.scale,
         window=args.window,
         max_cycles=args.max_cycles,
+    )
+    print(result.render())
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_precision(args: argparse.Namespace) -> int:
+    from .analysis.symx import DEFAULT_MAX_PATHS, DEFAULT_MAX_STEPS
+
+    result = run_experiment(
+        "precision_study",
+        machine=_machine(args),
+        benchmarks=args.benchmarks or None,
+        scale=args.scale,
+        window=args.window,
+        max_paths=(args.max_paths if args.max_paths is not None
+                   else DEFAULT_MAX_PATHS),
+        max_steps=(args.max_steps if args.max_steps is not None
+                   else DEFAULT_MAX_STEPS),
+        replay=not args.no_replay,
     )
     print(result.render())
     if args.json:
@@ -423,6 +539,14 @@ def build_parser() -> argparse.ArgumentParser:
                            help="synthesize a minimal fence placement "
                                 "for the confirmed findings and verify "
                                 "it (implies --refine)")
+    p_analyze.add_argument("--certify", action="store_true",
+                           help="run the symbolic speculative-"
+                                "noninterference certifier; attaches a "
+                                "per-finding certificate to --json and "
+                                "(with --fix) proves the fenced image")
+    p_analyze.add_argument("--max-paths", type=int, default=None,
+                           help="symbolic path budget for --certify "
+                                "(exhaustion degrades to UNKNOWN)")
     p_analyze.add_argument("--secret", action="append", default=None,
                            metavar="ADDR",
                            help="word address holding a secret (may "
@@ -441,6 +565,41 @@ def build_parser() -> argparse.ArgumentParser:
     _add_machine_arg(p_analyze)
     _add_mode_arg(p_analyze)
     p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_certify = sub.add_parser(
+        "certify",
+        help="symbolically certify programs speculatively "
+             "noninterferent, or refute them with replayed witnesses",
+    )
+    p_certify.add_argument("programs", nargs="+",
+                           help="assembly files or corpus:<kind>"
+                                "[:<variant>] specs")
+    p_certify.add_argument("--window", type=int, default=None,
+                           help="speculation window in instructions "
+                                "(default: analysis default)")
+    p_certify.add_argument("--max-depth", type=int, default=None,
+                           help="nested misprediction depth (default 2)")
+    p_certify.add_argument("--max-paths", type=int, default=None,
+                           help="symbolic path budget (exhaustion "
+                                "degrades to UNKNOWN, exit 1)")
+    p_certify.add_argument("--max-steps", type=int, default=None,
+                           help="symbolic step budget")
+    p_certify.add_argument("--no-replay", action="store_true",
+                           help="skip replaying witnesses on the "
+                                "dynamic pipeline")
+    p_certify.add_argument("--secret", action="append", default=None,
+                           metavar="ADDR",
+                           help="word address holding a secret (may "
+                                "repeat; corpus programs default to "
+                                "their layout's secret)")
+    p_certify.add_argument("--fail-on-leak", action="store_true",
+                           help="exit non-zero on LEAKY verdicts too "
+                                "(lint mode)")
+    p_certify.add_argument("--json", default=None,
+                           help="write all certification results as "
+                                "JSON")
+    _add_machine_arg(p_certify)
+    p_certify.set_defaults(func=_cmd_certify)
 
     p_attack = sub.add_parser("attack", help="run a Spectre PoC")
     p_attack.add_argument("variant", choices=sorted(_ATTACKS))
@@ -470,6 +629,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write the study table as JSON")
     _add_machine_arg(p_fence)
     p_fence.set_defaults(func=_cmd_fence)
+
+    p_precision = sub.add_parser(
+        "precision",
+        help="static precision study: taint vs +valueset vs +symx "
+             "over the corpus + SPEC-like workloads",
+    )
+    p_precision.add_argument(
+        "benchmarks", nargs="*",
+        help="SPEC-like benchmark subset (default: all; the gadget "
+             "corpus is always included)")
+    p_precision.add_argument("--scale", type=float, default=0.1,
+                             help="SPEC workload scale (default 0.1)")
+    p_precision.add_argument("--window", type=int, default=None,
+                             help="speculation window "
+                                  "(default: analysis default)")
+    p_precision.add_argument("--max-paths", type=int, default=None,
+                             help="certifier path budget")
+    p_precision.add_argument("--max-steps", type=int, default=None,
+                             help="certifier step budget")
+    p_precision.add_argument("--no-replay", action="store_true",
+                             help="skip dynamic witness replay")
+    p_precision.add_argument("--json", default=None,
+                             help="also write the study table as JSON")
+    _add_machine_arg(p_precision)
+    p_precision.set_defaults(func=_cmd_precision)
 
     p_bench = sub.add_parser(
         "bench",

@@ -19,6 +19,11 @@ from .fence_study import (
     run_fence_study,
 )
 from .figure5 import Figure5Result, run_figure5
+from .precision_study import (
+    PrecisionRow,
+    PrecisionStudyResult,
+    run_precision_study,
+)
 from .table4 import Table4Result, run_table4, SCENARIOS
 from .table5 import Table5Result, run_table5
 from .table6 import Table6Result, run_table6
@@ -56,6 +61,9 @@ __all__ = [
     "run_fence_study",
     "Figure5Result",
     "run_figure5",
+    "PrecisionRow",
+    "PrecisionStudyResult",
+    "run_precision_study",
     "Table4Result",
     "run_table4",
     "SCENARIOS",

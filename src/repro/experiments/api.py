@@ -31,6 +31,7 @@ from ..errors import ConfigError
 from ..params import MachineParams
 from .fence_study import run_fence_study
 from .figure5 import run_figure5
+from .precision_study import run_precision_study
 from .lru_study import run_lru_study
 from .table4 import run_table4
 from .table5 import run_table5
@@ -190,6 +191,14 @@ register_experiment(ExperimentSpec(
                 "gadgets + SPEC-like workloads",
     supports=("benchmarks", "machine", "scale"),
     extras=("gadgets", "window", "max_cycles"),
+))
+register_experiment(ExperimentSpec(
+    name="precision_study",
+    runner=run_precision_study,
+    description="Static precision tiers: taint vs +valueset vs +symx "
+                "over the corpus + SPEC-like workloads",
+    supports=("benchmarks", "machine", "scale"),
+    extras=("window", "max_paths", "max_steps", "replay"),
 ))
 register_experiment(ExperimentSpec(
     name="lru_study",

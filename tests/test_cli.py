@@ -163,7 +163,7 @@ class TestAnalyzeCommand:
         assert produced.pop("name").endswith("gadget.s")
         golden.pop("name")
         assert produced == golden
-        assert produced["schema_version"] == SCHEMA_VERSION == 2
+        assert produced["schema_version"] == SCHEMA_VERSION == 3
 
     def test_analyze_corpus_spec(self, capsys):
         code = main(["analyze", "corpus:v1"])
@@ -205,6 +205,52 @@ class TestAnalyzeCommand:
         args = build_parser().parse_args(
             ["analyze", "p.s", "--secret", "0x10FC0", "--secret", "8"])
         assert args.secret == ["0x10FC0", "8"]
+
+    def test_analyze_certify_leaky_corpus(self, tmp_path, capsys):
+        import json
+        out_json = tmp_path / "certified.json"
+        code = main(["analyze", "corpus:v1", "--certify",
+                     "--json", str(out_json)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "LEAKY" in out
+        doc = json.loads(out_json.read_text())
+        assert doc["schema_version"] == 3
+        assert doc["certify"]["verdict"] == "LEAKY"
+        certificates = [f["certificate"] for f in doc["findings"]
+                        if "certificate" in f]
+        assert certificates
+        assert any(c["verdict"] == "LEAKY" for c in certificates)
+
+
+class TestCertifyCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["certify", "corpus:v1"])
+        assert args.programs == ["corpus:v1"]
+        assert not args.fail_on_leak
+        assert not args.no_replay
+
+    def test_certify_fenced_corpus_proved_safe(self, capsys):
+        code = main(["certify", "corpus:v1:fenced", "corpus:v4:fenced"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("PROVED_SAFE") >= 2
+
+    def test_certify_fail_on_leak(self, tmp_path, capsys):
+        import json
+        out_json = tmp_path / "certify.json"
+        code = main(["certify", "corpus:v4", "--fail-on-leak",
+                     "--json", str(out_json)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "LEAKY" in out
+        doc = json.loads(out_json.read_text())
+        result = doc["results"][0]
+        assert result["verdict"] == "LEAKY"
+        assert result["leaks"][0]["replay"]["reproduced"] is True
+
+    def test_certify_leaky_without_fail_flag_exits_zero(self, capsys):
+        assert main(["certify", "corpus:rsb", "--no-replay"]) == 0
 
 
 class TestFenceCommand:

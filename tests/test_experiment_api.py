@@ -28,7 +28,7 @@ class TestRegistry:
     def test_headline_experiments_registered(self):
         assert set(experiment_names()) >= {
             "figure5", "table4", "table5", "table6",
-            "fence_study", "lru_study",
+            "fence_study", "lru_study", "precision_study",
         }
 
     def test_get_unknown_experiment(self):

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Sweep the gadget corpus through the symbolic certifier.
+
+This is the end-to-end acceptance check for ``repro.analysis.symx``:
+
+- every *unfenced* corpus driver must be ``LEAKY`` with at least one
+  witness, and every witness must replay on the dynamic pipeline
+  (unsafe mode) to a real leaked cache line;
+- every *fenced* and *masked* variant must be ``PROVED_SAFE``;
+- the fence-synthesized repair of each unfenced driver must also be
+  ``PROVED_SAFE`` (synthesize → certify closes the loop);
+- no program may come back ``UNKNOWN`` at the default budgets.
+
+Run:  PYTHONPATH=src python tools/certify_corpus.py [--verbose]
+
+Exit status 0 iff every assertion holds.
+"""
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.corpus import (
+    CORPUS_VARIANTS,
+    GADGET_KINDS,
+    build_corpus_variant,
+    corpus_secret_words,
+)
+from repro.analysis.fencesynth import synthesize_fences
+from repro.analysis.symx import CertifyResult, Verdict, certify_program
+
+
+def _check(name: str, result: CertifyResult, expect: Verdict,
+           verbose: bool, *, replay: bool = True) -> int:
+    """Print one line per certification; return the failure count."""
+    failures = 0
+    problems = []
+    if result.verdict is not expect:
+        problems.append(f"expected {expect.value}")
+    if result.verdict is Verdict.UNKNOWN:
+        problems.append("UNKNOWN at default budgets")
+    if expect is Verdict.LEAKY:
+        if not result.leaks:
+            problems.append("no witness")
+        if replay:
+            not_replayed = [
+                leak for leak in result.leaks
+                if leak.replay is None or not leak.replay.reproduced
+            ]
+            if not_replayed:
+                problems.append(
+                    f"{len(not_replayed)} witness(es) failed dynamic "
+                    "replay"
+                )
+    failures += 1 if problems else 0
+    status = "ok" if not problems else "FAIL: " + "; ".join(problems)
+    witnesses = len(result.leaks)
+    replayed = sum(1 for leak in result.leaks
+                   if leak.replay is not None and leak.replay.reproduced)
+    print(f"  {name:16s}: {result.verdict.value:12s} "
+          f"{witnesses} witness(es), {replayed} replayed, "
+          f"{result.paths} path(s)  [{status}]")
+    if verbose:
+        print("    " + result.render().replace("\n", "\n    "))
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--verbose", action="store_true",
+                        help="print the full certificate per program")
+    parser.add_argument("--no-replay", action="store_true",
+                        help="skip dynamic witness replay (faster; the "
+                             "replay assertions are then vacuous)")
+    args = parser.parse_args(argv)
+
+    secrets = corpus_secret_words()
+    replay = not args.no_replay
+    failures = 0
+
+    print("== corpus variants ==")
+    for kind in GADGET_KINDS:
+        for variant in CORPUS_VARIANTS:
+            name = f"{kind}-{variant}"
+            result = certify_program(
+                build_corpus_variant(kind, variant),
+                secret_words=secrets, replay=replay, name=name,
+            )
+            expect = (Verdict.LEAKY if variant == "unsafe"
+                      else Verdict.PROVED_SAFE)
+            failures += _check(name, result, expect, args.verbose,
+                               replay=replay)
+
+    print("== synthesized repairs ==")
+    for kind in GADGET_KINDS:
+        synthesis = synthesize_fences(
+            build_corpus_variant(kind, "unsafe"),
+            secret_words=secrets, name=f"{kind}-synth",
+        )
+        result = certify_program(
+            synthesis.program, secret_words=secrets,
+            replay=replay, name=f"{kind}-synth",
+        )
+        failures += _check(f"{kind}-synth ({len(synthesis.fence_pcs)} "
+                           "fence)", result, Verdict.PROVED_SAFE,
+                           args.verbose)
+
+    if failures:
+        print(f"\n{failures} certification check(s) FAILED")
+        return 1
+    print("\nall certification checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
