@@ -21,6 +21,8 @@ measures the false-positive rate before/after refinement.
 from __future__ import annotations
 
 import dataclasses
+import json
+import os
 from typing import Callable, Dict, Tuple
 
 from ..attacks.gadgets import (
@@ -179,3 +181,98 @@ def build_corpus_variant(kind: str, variant: str) -> Program:
         fenced=(variant == "fenced"),
         masked=(variant == "masked"),
     )
+
+
+# ---------------------------------------------------------------------------
+# Externally ingested gadgets (fuzz-found S-Pattern variants)
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class IngestedGadget:
+    """One externally discovered gadget, stored as assembler text.
+
+    Ingested entries *extend* the corpus: :func:`corpus_precision` and
+    the precision study append them after the built-in
+    ``kind × variant`` grid, so the 34-case baseline keeps its
+    identities and ordering no matter how many gadgets a fuzz campaign
+    adds.  ``secret_words`` defaults to the shared corpus secret when
+    empty.
+    """
+
+    name: str
+    source: str
+    base_address: int = 0x1000
+    is_gadget: bool = True
+    secret_words: Tuple[int, ...] = ()
+    #: Provenance, e.g. ``"fuzz-evolve:cache_hit"``.
+    origin: str = ""
+
+    def build(self) -> Program:
+        from ..isa.assembler import assemble
+        return assemble(self.source, base_address=self.base_address)
+
+    def secrets(self) -> Tuple[int, ...]:
+        return self.secret_words or corpus_secret_words()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "source": self.source,
+            "base_address": self.base_address,
+            "is_gadget": self.is_gadget,
+            "secret_words": list(self.secret_words),
+            "origin": self.origin,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "IngestedGadget":
+        secret_raw = data.get("secret_words", [])
+        assert isinstance(secret_raw, list)
+        return cls(
+            name=str(data["name"]),
+            source=str(data["source"]),
+            base_address=int(data.get("base_address", 0x1000)),  # type: ignore[arg-type]
+            is_gadget=bool(data.get("is_gadget", True)),
+            secret_words=tuple(int(w) for w in secret_raw),
+            origin=str(data.get("origin", "")),
+        )
+
+
+#: Registry of ingested gadgets, in registration order (name-keyed so
+#: re-registration replaces rather than duplicates).
+_INGESTED: Dict[str, IngestedGadget] = {}
+
+
+def register_ingested_gadget(gadget: IngestedGadget) -> None:
+    """Add ``gadget`` to the corpus extension (replaces same name)."""
+    _INGESTED[gadget.name] = gadget
+
+
+def ingested_gadgets() -> Tuple[IngestedGadget, ...]:
+    """Currently registered extensions, in registration order."""
+    return tuple(_INGESTED.values())
+
+
+def clear_ingested_gadgets() -> None:
+    """Empty the extension registry (tests and CLI resets)."""
+    _INGESTED.clear()
+
+
+def load_ingested_gadgets(directory: "os.PathLike[str] | str") -> int:
+    """Register every ``*.json`` gadget file under ``directory``.
+
+    Files are :meth:`IngestedGadget.to_dict` payloads.  Returns the
+    number registered; a missing directory registers nothing.
+    """
+    if not os.path.isdir(directory):
+        return 0
+    count = 0
+    for entry in sorted(os.listdir(directory)):
+        if not entry.endswith(".json"):
+            continue
+        with open(os.path.join(directory, entry)) as handle:
+            data = json.load(handle)
+        assert isinstance(data, dict)
+        register_ingested_gadget(IngestedGadget.from_dict(data))
+        count += 1
+    return count

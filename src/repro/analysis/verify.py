@@ -30,6 +30,7 @@ from .corpus import (
     GADGET_KINDS,
     build_corpus_variant,
     corpus_secret_words,
+    ingested_gadgets,
 )
 from .taint import DEFAULT_WINDOW, analyze_program, static_suspect_pcs
 from .valueset import refine_report
@@ -286,12 +287,20 @@ class CorpusPrecision:
         }
 
 
-def corpus_precision(window: int = DEFAULT_WINDOW) -> CorpusPrecision:
+def corpus_precision(
+    window: int = DEFAULT_WINDOW,
+    include_ingested: bool = True,
+) -> CorpusPrecision:
     """Scan every corpus variant and measure refinement precision.
 
     The refutation layer must remove the masked false positives
     without losing any real gadget: ``fp_rate_after == 0`` and
     ``fn_rate_after == 0`` are asserted by the acceptance tests.
+
+    Externally ingested gadgets (fuzz-found variants registered via
+    :func:`repro.analysis.corpus.register_ingested_gadget`) are
+    appended *after* the built-in grid, so the baseline cases keep
+    their positions and the historical metrics stay comparable.
     """
     secrets = corpus_secret_words()
     cases = []
@@ -305,6 +314,21 @@ def corpus_precision(window: int = DEFAULT_WINDOW) -> CorpusPrecision:
                 kind=kind,
                 variant=variant,
                 is_gadget=(variant == "unsafe"),
+                findings=len(report.findings),
+                confirmed=len(refined.confirmed),
+                refuted=len(refined.refuted),
+            ))
+    if include_ingested:
+        for gadget in ingested_gadgets():
+            program = gadget.build()
+            report = analyze_program(program, window=window,
+                                     name=gadget.name)
+            refined = refine_report(program, report,
+                                    secret_words=gadget.secrets())
+            cases.append(PrecisionCase(
+                kind=gadget.name,
+                variant="ingested",
+                is_gadget=gadget.is_gadget,
                 findings=len(report.findings),
                 confirmed=len(refined.confirmed),
                 refuted=len(refined.refuted),

@@ -25,6 +25,11 @@ Commands:
   synthesized fences vs the hardware filters.
 - ``precision`` - static precision study: taint vs +valueset vs
   +symx over the corpus and SPEC-like workloads.
+- ``fuzz``     - adversarial validation campaigns (``diff`` /
+  ``certify`` / ``evolve``): seeded random programs differentially
+  checked against the in-order oracle, symx verdicts cross-checked
+  against dynamic two-secret replay, and gadget variants evolved
+  against each defense mode.  See ``docs/fuzzing.md``.
 - ``figure5`` / ``table4`` / ``table5`` / ``table6`` / ``lru`` /
   ``area``   - regenerate a paper artifact.
 
@@ -498,6 +503,136 @@ def _cmd_area(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fuzz_generator_config(args: argparse.Namespace,
+                           secret: bool) -> "object":
+    from .fuzz import GeneratorConfig
+    if secret:
+        return GeneratorConfig(secret=True, length=args.length or 20,
+                               loops=False)
+    if args.length:
+        return GeneratorConfig(length=args.length)
+    return GeneratorConfig()
+
+
+def _write_json(path: Optional[str], payload: object) -> None:
+    if not path:
+        return
+    import json
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _cmd_fuzz_diff(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .fuzz import (ALL_MODES, case_seed, differential_check,
+                       generate_program, run_diff_campaign)
+    modes = tuple(args.modes) if args.modes else ALL_MODES
+    config = _fuzz_generator_config(args, secret=False)
+    machine = _machine(args)
+    if args.only is not None:
+        seed = case_seed(args.seed, args.only)
+        generated = generate_program(seed, config)  # type: ignore[arg-type]
+        outcome = differential_check(generated.program, modes=modes,
+                                     machine=machine)
+        print(f"case {args.only} (seed {seed!r}):")
+        print(outcome.render())
+        return 0 if outcome.clean else 1
+    result = run_diff_campaign(
+        args.seed, args.count,
+        config=config,  # type: ignore[arg-type]
+        modes=modes, machine=machine,
+        checkpoint=Path(args.checkpoint) if args.checkpoint else None,
+        resume=not args.no_resume,
+        minimize=not args.no_minimize,
+        regressions=Path(args.pin_dir) if args.pin_dir else None,
+        progress=print,
+    )
+    print(f"diff campaign {args.seed!r}: {result.cases} programs, "
+          f"{result.invalid} invalid, {result.resumed} resumed, "
+          f"{result.disagreements} mismatch(es) "
+          f"[{result.duration_s:.1f}s]")
+    _write_json(args.json, result.to_dict())
+    return 0 if result.clean else 1
+
+
+def _cmd_fuzz_certify(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .fuzz import (case_seed, certify_agreement, generate_program,
+                       run_certify_campaign)
+    config = _fuzz_generator_config(args, secret=True)
+    machine = _machine(args)
+    if args.only is not None:
+        seed = case_seed(args.seed, args.only)
+        generated = generate_program(seed, config)  # type: ignore[arg-type]
+        outcome = certify_agreement(
+            generated.program, generated.secret_words, machine=machine)
+        print(f"case {args.only} (seed {seed!r}):")
+        if outcome is None:
+            print("invalid program (dynamic run did not halt)")
+            return 0
+        for line in outcome.to_dict().items():
+            print(f"  {line[0]}: {line[1]}")
+        return 0 if outcome.clean else 1
+    result = run_certify_campaign(
+        args.seed, args.count,
+        config=config,  # type: ignore[arg-type]
+        machine=machine,
+        checkpoint=Path(args.checkpoint) if args.checkpoint else None,
+        resume=not args.no_resume,
+        minimize=not args.no_minimize,
+        regressions=Path(args.pin_dir) if args.pin_dir else None,
+        progress=print,
+    )
+    verdicts = ", ".join(f"{k}={v}"
+                         for k, v in sorted(result.verdicts.items()))
+    print(f"certify campaign {args.seed!r}: {result.cases} programs "
+          f"({verdicts}), {result.explained} explained, "
+          f"{result.disagreements} disagreement(s) "
+          f"[{result.duration_s:.1f}s]")
+    _write_json(args.json, result.to_dict())
+    return 0 if result.clean else 1
+
+
+def _cmd_fuzz_evolve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .analysis.corpus import (IngestedGadget,
+                                  register_ingested_gadget)
+    from .analysis.verify import corpus_precision
+    from .fuzz import ALL_MODES, run_evolve_campaign
+    modes = tuple(args.modes) if args.modes else ALL_MODES
+    result, survivors = run_evolve_campaign(
+        args.seed,
+        modes=modes,
+        generated_seeds=args.generated_seeds,
+        generations=args.generations,
+        population=args.population,
+        offspring=args.offspring,
+        machine=_machine(args),
+        regressions=Path(args.pin_dir) if args.pin_dir else None,
+        progress=print,
+    )
+    print(f"evolve campaign {args.seed!r}: {result.cases} "
+          f"(seed x mode) runs, {len(survivors)} verified "
+          f"survivor(s) [{result.duration_s:.1f}s]")
+    if survivors:
+        for case in survivors:
+            register_ingested_gadget(IngestedGadget(
+                name=case.case_id, source=case.source,
+                base_address=case.base_address, is_gadget=True,
+                secret_words=case.secret_words,
+                origin=f"fuzz-evolve:{','.join(case.modes)}"))
+        precision = corpus_precision()
+        print("precision over the extended corpus "
+              f"({len(precision.cases)} cases):")
+        print(precision.render())
+    _write_json(args.json, result.to_dict())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -710,6 +845,81 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fault-injection seed (default 0)")
     _add_machine_arg(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="adversarial fuzzing: differential, certifier-agreement "
+             "and gadget-evolution campaigns (docs/fuzzing.md)",
+    )
+    fuzz_sub = p_fuzz.add_subparsers(dest="fuzz_command", required=True)
+
+    def _fuzz_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seed", default="fuzz",
+                       help="campaign master seed (default: fuzz)")
+        p.add_argument("--length", type=int, default=None,
+                       help="generated program body length")
+        p.add_argument("--pin-dir", default=None,
+                       help="write FuzzCase files for disagreements "
+                            "here (e.g. tests/data/fuzz_regressions)")
+        p.add_argument("--json", default=None,
+                       help="write the campaign summary as JSON")
+        p.add_argument("--machine", default="tiny",
+                       choices=["paper", "a57-like", "i7-like",
+                                "xeon-like", "tiny"],
+                       help="machine preset (default: tiny)")
+        p.add_argument("--machine-file", default=None,
+                       help="JSON machine description")
+
+    p_fdiff = fuzz_sub.add_parser(
+        "diff", help="OoO-vs-oracle differential + round-trip sweep")
+    _fuzz_common(p_fdiff)
+    p_fdiff.add_argument("--count", type=int, default=500,
+                         help="programs to generate (default 500)")
+    p_fdiff.add_argument("--modes", nargs="*", default=None,
+                         choices=["origin", "baseline", "cache_hit",
+                                  "cache_hit_tpbuf"],
+                         help="protection modes (default: all four)")
+    p_fdiff.add_argument("--checkpoint", default=None,
+                         help="JSONL campaign checkpoint")
+    p_fdiff.add_argument("--no-resume", action="store_true",
+                         help="restart even if --checkpoint matches")
+    p_fdiff.add_argument("--no-minimize", action="store_true",
+                         help="pin disagreements unminimized")
+    p_fdiff.add_argument("--only", type=int, default=None,
+                         help="replay one case index and exit")
+    p_fdiff.set_defaults(func=_cmd_fuzz_diff)
+
+    p_fcert = fuzz_sub.add_parser(
+        "certify",
+        help="symx verdict vs dynamic two-secret reality sweep")
+    _fuzz_common(p_fcert)
+    p_fcert.add_argument("--count", type=int, default=100,
+                         help="programs to generate (default 100)")
+    p_fcert.add_argument("--checkpoint", default=None,
+                         help="JSONL campaign checkpoint")
+    p_fcert.add_argument("--no-resume", action="store_true",
+                         help="restart even if --checkpoint matches")
+    p_fcert.add_argument("--no-minimize", action="store_true",
+                         help="pin disagreements unminimized")
+    p_fcert.add_argument("--only", type=int, default=None,
+                         help="replay one case index and exit")
+    p_fcert.set_defaults(func=_cmd_fuzz_certify)
+
+    p_fev = fuzz_sub.add_parser(
+        "evolve",
+        help="evolve gadget variants against each defense mode; "
+             "verified survivors extend the analysis corpus")
+    _fuzz_common(p_fev)
+    p_fev.add_argument("--modes", nargs="*", default=None,
+                       choices=["origin", "baseline", "cache_hit",
+                                "cache_hit_tpbuf"],
+                       help="protection modes (default: all four)")
+    p_fev.add_argument("--generated-seeds", type=int, default=2,
+                       help="leaky generated seed programs (default 2)")
+    p_fev.add_argument("--generations", type=int, default=6)
+    p_fev.add_argument("--population", type=int, default=5)
+    p_fev.add_argument("--offspring", type=int, default=3)
+    p_fev.set_defaults(func=_cmd_fuzz_evolve)
 
     for name, func, with_scale in [
         ("figure5", _cmd_figure5, True),

@@ -33,6 +33,7 @@ from ..analysis.corpus import (
     GADGET_KINDS,
     build_corpus_variant,
     corpus_secret_words,
+    ingested_gadgets,
 )
 from ..analysis.symx import (
     DEFAULT_MAX_PATHS,
@@ -54,7 +55,7 @@ class PrecisionRow:
     """One program's verdicts and runtimes across the three tiers."""
 
     name: str
-    group: str                     # "corpus" or "spec"
+    group: str                     # "corpus", "ingested" or "spec"
     #: Ground-truth label when known (corpus only; ``None`` for SPEC).
     is_gadget: Optional[bool]
 
@@ -278,6 +279,15 @@ def run_precision_study(
                 machine=machine, max_paths=max_paths,
                 max_steps=max_steps, replay=replay,
             ))
+    # Fuzz-found gadgets extend the corpus without renumbering it:
+    # always appended after the built-in grid, never interleaved.
+    for gadget in ingested_gadgets():
+        rows.append(_study_row(
+            gadget.name, "ingested", gadget.build(), gadget.secrets(),
+            is_gadget=gadget.is_gadget, window=window,
+            machine=machine, max_paths=max_paths,
+            max_steps=max_steps, replay=replay,
+        ))
     for name in (benchmarks if benchmarks is not None else spec_names()):
         rows.append(_study_row(
             name, "spec", spec_program(name, scale=scale), (),

@@ -1,0 +1,287 @@
+"""Certifier-agreement oracle: symx verdicts vs dynamic reality.
+
+For a generated (or corpus) program with declared secret words, three
+cross-checks tie the static stack to the simulator:
+
+1. **PROVED_SAFE soundness.**  A program the certifier proves
+   speculatively noninterferent must show *no* secret-dependent
+   transient cache-line difference when the unsafe (ORIGIN) pipeline
+   runs it twice with two different secret valuations.  The probe runs
+   cold (no warm-up): cold misses maximize the speculation window, so
+   an empty diff here is the strongest dynamic corroboration the
+   simulator can give.
+2. **LEAKY witnesses reproduce.**  Every :class:`LeakRecord` carries a
+   two-secret replay; each must have ``reproduced=True``.  A
+   non-reproducing witness is *explained* — a precision gap, not a
+   soundness bug — only when its own staged replay shows an *empty*
+   dynamic line diff: symx's always-mispredict semantics explores
+   wrong paths the real front end never follows, so a
+   symbolically-leaky program can be dynamically tight.  A replay
+   that leaks *different* lines than predicted is a real
+   disagreement.
+3. **Tier ordering.**  The three tiers must stay ordered
+   over-approximation ⊇ truth: if symx proves a sink LEAKY, the taint
+   scanner must flag that sink and the value-set layer must not refute
+   every finding covering it.  (And a program with no secret words can
+   never be LEAKY.)
+
+The transient diff is computed to match what symx models: lines
+touched only by squashed loads in exactly one variant, with every
+architecturally-committed line of either run excluded —
+
+    ``ta = A.squashed - A.committed - B.committed``
+    ``tb = B.squashed - A.committed - B.committed``
+    ``diff = ta ^ tb``
+
+Architectural (committed) differences between the two secret runs are
+the in-order program semantics, which SNI deliberately does not judge.
+"""
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.symx import CertifyResult, Verdict, certify_program
+from ..analysis.taint import analyze_program
+from ..analysis.valueset import refine_report
+from ..analysis.witness import _LineProbe
+from ..core.policy import SecurityConfig
+from ..isa.instructions import mask64
+from ..isa.program import Program
+from ..params import MachineParams, tiny_config
+from ..pipeline.processor import Processor
+
+#: Two fixed, well-separated secret valuations.  Word i of the secret
+#: region gets ``base + i * 8``.  The bases differ in low bits *and*
+#: high bits (xor ``0x78F``) so the difference survives both a
+#: low-bits line mask (``andi idx, secret, lines-1``) and a shifted
+#: transmit (``secret << 6``).
+SECRET_VALUE_A = 0x043
+SECRET_VALUE_B = 0x7CC
+
+#: Depth for fuzz certification.  symx's depth cap silently drops
+#: forks past ``max_depth`` nesting levels without marking the result
+#: truncated, so the campaign keeps generated nesting shallow *and*
+#: certifies one level deeper than the generator ever nests.
+FUZZ_MAX_DEPTH = 3
+
+
+@dataclass(frozen=True)
+class Disagreement:
+    """One static-vs-dynamic disagreement."""
+
+    kind: str   # "proved_safe_leaks" | "witness_not_reproduced"
+                # | "tier_taint_missed" | "tier_valueset_refuted"
+                # | "leaky_without_secret"
+    detail: str
+
+    def render(self) -> str:
+        return f"{self.kind}: {self.detail}"
+
+
+@dataclass
+class AgreementOutcome:
+    """Result of one program's certifier-agreement check."""
+
+    verdict: str
+    disagreements: Tuple[Disagreement, ...]
+    #: Non-reproducing witnesses excused by an empty dynamic diff.
+    explained: Tuple[str, ...]
+    #: The program's own two-secret transient line diff (ORIGIN mode).
+    dynamic_diff: Tuple[int, ...]
+    truncated: bool
+    leaks: int
+    duration_s: float
+
+    @property
+    def clean(self) -> bool:
+        return not self.disagreements
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "verdict": self.verdict,
+            "disagreements": [d.render() for d in self.disagreements],
+            "explained": list(self.explained),
+            "dynamic_diff": list(self.dynamic_diff),
+            "truncated": self.truncated,
+            "leaks": self.leaks,
+            "duration_s": round(self.duration_s, 4),
+        }
+
+
+def _secret_overrides(
+    secret_words: Sequence[int], base_value: int
+) -> Dict[int, int]:
+    return {mask64(word): mask64(base_value + 8 * index)
+            for index, word in enumerate(secret_words)}
+
+
+def _probe_variant(
+    program: Program,
+    overrides: Dict[int, int],
+    *,
+    machine: MachineParams,
+    max_cycles: int,
+    security: Optional[SecurityConfig] = None,
+    warm_words: Sequence[int] = (),
+) -> Optional[_LineProbe]:
+    staged = dataclasses.replace(
+        program,
+        initial_memory={**program.initial_memory, **overrides},
+    )
+    probe = _LineProbe(machine.memory.line_bytes)
+    cpu = Processor(
+        staged, machine=machine,
+        security=security if security is not None
+        else SecurityConfig.origin(),
+        tracer=probe)
+    for word in warm_words:
+        translation = cpu.dtlb.translate(mask64(word))
+        cpu.hierarchy.data_access(translation.paddr)
+    report = cpu.run(max_cycles=max_cycles)
+    if not report.halted:
+        return None
+    return probe
+
+
+def two_secret_probe(
+    program: Program,
+    secret_words: Sequence[int],
+    *,
+    machine: Optional[MachineParams] = None,
+    max_cycles: int = 500_000,
+    security: Optional[SecurityConfig] = None,
+    values: Tuple[int, int] = (SECRET_VALUE_A, SECRET_VALUE_B),
+    warm_words: Sequence[int] = (),
+) -> Optional[Tuple[int, ...]]:
+    """Transient-only secret-dependent line diff on the dynamic core.
+
+    Runs ``program`` twice (ORIGIN mode unless ``security`` overrides
+    it — the evolve loop probes defended cores too) with two secret
+    valuations, and returns the sorted virtual line indices
+    transiently touched by exactly one run (see module docstring for
+    the exact formula).  ``warm_words`` are pre-installed in the
+    hierarchy before each run (warm data / cold trigger, exactly as
+    :func:`repro.analysis.witness.replay_witness` stages it); the
+    default is fully cold.  ``None`` when either run fails to halt
+    within ``max_cycles`` (the caller treats the program as invalid
+    input, not as a finding).
+    """
+    machine = machine if machine is not None else tiny_config()
+    probe_a = _probe_variant(
+        program, _secret_overrides(secret_words, values[0]),
+        machine=machine, max_cycles=max_cycles, security=security,
+        warm_words=warm_words)
+    probe_b = _probe_variant(
+        program, _secret_overrides(secret_words, values[1]),
+        machine=machine, max_cycles=max_cycles, security=security,
+        warm_words=warm_words)
+    if probe_a is None or probe_b is None:
+        return None
+    committed = probe_a.committed_lines | probe_b.committed_lines
+    transient_a = probe_a.squashed_lines - committed
+    transient_b = probe_b.squashed_lines - committed
+    return tuple(sorted(transient_a ^ transient_b))
+
+
+def certify_agreement(
+    program: Program,
+    secret_words: Sequence[int],
+    *,
+    machine: Optional[MachineParams] = None,
+    window: int = 192,
+    max_depth: int = FUZZ_MAX_DEPTH,
+    max_paths: int = 4096,
+    max_steps: int = 200_000,
+    name: str = "fuzz",
+) -> Optional[AgreementOutcome]:
+    """Run the full three-tier stack and the dynamic cross-checks.
+
+    Returns ``None`` for invalid inputs (a dynamic run that does not
+    halt).  ``UNKNOWN`` verdicts produce no disagreement — the
+    certifier gave up, which is honest, not wrong.
+    """
+    machine = machine if machine is not None else tiny_config()
+    # Warm data / cold trigger: the secret words are the victim's own
+    # data (recently touched); triggers stay cold so the speculation
+    # window is maximal.  A cold secret load returns after the squash
+    # and hides real dynamic leaks.
+    dynamic = (two_secret_probe(program, secret_words, machine=machine,
+                                warm_words=secret_words)
+               if secret_words else ())
+    if dynamic is None:
+        return None
+
+    result: CertifyResult = certify_program(
+        program,
+        secret_words=secret_words,
+        window=window,
+        max_depth=max_depth,
+        max_paths=max_paths,
+        max_steps=max_steps,
+        replay=True,
+        machine=machine,
+        name=name,
+    )
+
+    disagreements: List[Disagreement] = []
+    explained: List[str] = []
+
+    if not secret_words and result.verdict is Verdict.LEAKY:
+        disagreements.append(Disagreement(
+            "leaky_without_secret",
+            f"LEAKY with no declared secrets: {result.leaky_pcs}"))
+
+    if result.verdict is Verdict.PROVED_SAFE and dynamic:
+        disagreements.append(Disagreement(
+            "proved_safe_leaks",
+            "PROVED_SAFE but dynamic two-secret transient diff is "
+            f"non-empty: lines {list(dynamic)}"))
+
+    if result.verdict is Verdict.LEAKY:
+        for leak in result.leaks:
+            if leak.replay is not None and leak.replay.reproduced:
+                continue
+            note = (f"witness sink {leak.pc:#x} predicted lines "
+                    f"{list(leak.witness.predicted_lines)}")
+            leaked = (leak.replay.leaked_lines
+                      if leak.replay is not None else None)
+            if leaked == ():
+                # The witness's own staged replay shows *no* dynamic
+                # difference at all: symx's always-mispredict semantics
+                # explored a wrong path the real front end never
+                # follows.  A documented precision gap, not a bug.
+                explained.append(
+                    note + " — dynamically tight (always-mispredict "
+                    "over-approximation)")
+            else:
+                disagreements.append(Disagreement(
+                    "witness_not_reproduced",
+                    note + f"; replay leaked {leaked!r}"))
+
+        report = analyze_program(program, window=window, name=name)
+        refined = refine_report(program, report,
+                                secret_words=secret_words)
+        flagged = {f.sink_pc for f in report.findings}
+        surviving = {f.sink_pc for f in refined.confirmed}
+        for sink in result.leaky_pcs:
+            if sink not in flagged:
+                disagreements.append(Disagreement(
+                    "tier_taint_missed",
+                    f"symx LEAKY sink {sink:#x} has no taint finding"))
+            elif sink not in surviving:
+                disagreements.append(Disagreement(
+                    "tier_valueset_refuted",
+                    f"value-set layer refuted symx-LEAKY sink "
+                    f"{sink:#x}"))
+
+    return AgreementOutcome(
+        verdict=result.verdict.value,
+        disagreements=tuple(disagreements),
+        explained=tuple(explained),
+        dynamic_diff=tuple(dynamic),
+        truncated=result.truncated,
+        leaks=len(result.leaks),
+        duration_s=result.duration_s,
+    )

@@ -1,0 +1,409 @@
+"""Seeded, constrained random program generator over the full ISA.
+
+Programs are **always terminating by construction** — the property the
+whole differential harness rests on (a generated program that fails to
+halt is a generator bug, never a legitimate fuzz outcome):
+
+- all control flow inside the main body is *forward*: conditional
+  branches, ``JMP`` and ``JMPI`` (through a label-valued immediate or a
+  label-valued data word) only target join labels emitted a bounded
+  number of items later;
+- the one allowed backward branch is the counted outer loop, whose
+  dedicated counter register is never touched by body items;
+- ``CALL`` targets straight-line functions (emitted after ``HALT``)
+  that never call and always ``RET`` — call depth is exactly one;
+- every body item is finite; the program ends in ``HALT``.
+
+Memory discipline: data loads/stores mask their index into a small
+initialized data region, so the architectural heap stays bounded.  In
+*secret mode* the generator additionally stages a labelled secret word
+plus a probe array and plants speculation-guarded S-Pattern blocks —
+the bounds-check shape of the paper — in leaky (unmasked transmit) and
+mitigated (masked or fenced) flavours, which is what gives the
+certifier-agreement oracle a bimodal population to chew on.
+
+``RDCYCLE`` is deliberately excluded: the oracle defines it as the
+retired-instruction count, which *intentionally* disagrees with the
+core's cycle counter, so it can never appear in a differential check
+(see :mod:`repro.isa.oracle`).
+
+All randomness flows through one injected :class:`random.Random`; the
+same seed and config reproduce the same program bit-for-bit.
+"""
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+
+#: Junk items write/read this register pool only.
+POOL_REGS: Tuple[int, ...] = (1, 2, 3, 4, 5, 6)
+#: Loop counter — body items must never touch it.
+LOOP_REG = 7
+#: Address-computation scratch registers.
+SCRATCH_A = 8
+SCRATCH_B = 9
+#: Secret chains live in a register range disjoint from the junk pool
+#: so a leak is attributable to the planted block, not register reuse.
+SECRET_REGS: Tuple[int, ...] = (16, 17, 18)
+
+_ALU3_METHODS: Tuple[str, ...] = (
+    "add", "sub", "mul", "div", "and_", "or_", "xor", "shl", "shr")
+_ALUI_METHODS: Tuple[str, ...] = ("addi", "andi", "xori", "shli", "shri")
+_BRANCH_METHODS: Tuple[str, ...] = ("beq", "bne", "blt", "bge")
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Shape of one generated program (all knobs deterministic)."""
+
+    #: Number of body items (an item is 1..~8 instructions).
+    length: int = 24
+    base_address: int = 0x1000
+    #: Initialized public data region (word granularity).
+    data_base: int = 0x4000
+    data_words: int = 16
+    #: Counted outer loop around the whole body.
+    loops: bool = True
+    max_loop_iterations: int = 3
+    #: Straight-line functions reachable via CALL.
+    calls: bool = True
+    max_functions: int = 2
+    max_function_items: int = 4
+    #: Forward indirect jumps (label-valued immediates / data words).
+    jmpi: bool = True
+    #: Plant speculation-guarded secret blocks (certifier campaigns).
+    secret: bool = False
+    secret_addr: int = 0x5000
+    #: Cold trigger words guarding the speculative blocks.
+    trigger_base: int = 0x7000
+    #: Probe array indexed by (masked) transmitted values.
+    probe_base: int = 0x6000
+    probe_lines: int = 16
+    line_bytes: int = 64
+    #: Upper bound on guarded secret blocks per program.
+    max_secret_blocks: int = 2
+    #: Probability a junk load bypasses the region mask entirely and
+    #: dereferences a raw register value (wild but architecturally
+    #: harmless: unmapped words read as zero).
+    wild_load_rate: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "GeneratorConfig":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+@dataclass
+class GeneratedProgram:
+    """A generated program plus the metadata campaigns need."""
+
+    program: Program
+    seed: object
+    config: GeneratorConfig
+    #: Word addresses holding secrets (empty unless ``config.secret``).
+    secret_words: Tuple[int, ...] = ()
+    #: Generator intent: at least one *unmasked* secret transmit was
+    #: planted inside a speculative block.  A statistic for campaign
+    #: reports — dynamic replay, not intent, is the ground truth.
+    expected_leaky: bool = False
+    #: Count of speculation sources planted (guards + jmpi + ret).
+    speculation_sources: int = 0
+
+
+class _Emitter:
+    """One generation run (bundles rng + config + builder state)."""
+
+    def __init__(self, rng: random.Random, config: GeneratorConfig) -> None:
+        self.rng = rng
+        self.config = config
+        self.builder = ProgramBuilder(base_address=config.base_address)
+        #: (due_item_index, label) joins still to be placed.
+        self.pending: List[Tuple[int, str]] = []
+        #: (data word address, label name) patches applied post-build.
+        self.data_labels: List[Tuple[int, str]] = []
+        self.functions: List[str] = []
+        self.next_trigger = config.trigger_base
+        self.expected_leaky = False
+        self.speculation_sources = 0
+        self._unique = 0
+
+    # ---- helpers --------------------------------------------------------
+
+    def fresh(self, stem: str) -> str:
+        self._unique += 1
+        return f"{stem}_{self._unique}"
+
+    def pool(self) -> int:
+        return self.rng.choice(POOL_REGS)
+
+    def masked_data_address(self, dst: int, src: int) -> None:
+        """dst = data_base + (src mod data_words) * 8 — always in
+        the initialized region."""
+        b = self.builder
+        b.andi(dst, src, self.config.data_words - 1)
+        b.shli(dst, dst, 3)
+        b.li(SCRATCH_B, self.config.data_base)
+        b.add(dst, SCRATCH_B, dst)
+
+    def alloc_trigger(self) -> int:
+        """A fresh cold word (initially zero, never touched again)."""
+        address = self.next_trigger
+        self.next_trigger += 8
+        return address
+
+    # ---- junk items -----------------------------------------------------
+
+    def item_alu(self) -> None:
+        method = self.rng.choice(_ALU3_METHODS)
+        getattr(self.builder, method)(self.pool(), self.pool(), self.pool())
+
+    def item_alui(self) -> None:
+        method = self.rng.choice(_ALUI_METHODS)
+        imm = (self.rng.randint(0, 12) if method in ("shli", "shri")
+               else self.rng.randint(-64, 64))
+        getattr(self.builder, method)(self.pool(), self.pool(), imm)
+
+    def item_li(self) -> None:
+        self.builder.li(self.pool(), self.rng.randint(-(1 << 16), 1 << 16))
+
+    def item_load(self) -> None:
+        rd = self.pool()
+        if (self.config.wild_load_rate > 0
+                and self.rng.random() < self.config.wild_load_rate):
+            self.builder.load(rd, self.pool())
+            return
+        self.masked_data_address(SCRATCH_A, self.pool())
+        self.builder.load(rd, SCRATCH_A)
+
+    def item_store(self) -> None:
+        self.masked_data_address(SCRATCH_A, self.pool())
+        self.builder.store(self.pool(), SCRATCH_A)
+
+    def item_load_direct(self) -> None:
+        word = self.rng.randrange(self.config.data_words)
+        self.builder.li(SCRATCH_A, self.config.data_base)
+        self.builder.load(self.pool(), SCRATCH_A, word * 8)
+
+    def item_flush(self) -> None:
+        word = self.rng.randrange(self.config.data_words)
+        self.builder.li(SCRATCH_A, self.config.data_base + word * 8)
+        self.builder.clflush(SCRATCH_A)
+
+    def item_fence(self) -> None:
+        self.builder.fence()
+
+    def item_nop(self) -> None:
+        self.builder.nop()
+
+    # ---- forward control ------------------------------------------------
+
+    def item_branch(self, index: int) -> None:
+        method = self.rng.choice(_BRANCH_METHODS)
+        label = self.fresh("fwd")
+        getattr(self.builder, method)(self.pool(), self.pool(), label)
+        skip = self.rng.randint(1, 4)
+        self.pending.append((index + skip, label))
+        self.speculation_sources += 1
+
+    def item_jmpi(self, index: int) -> None:
+        label = self.fresh("jj")
+        if self.rng.random() < 0.5:
+            # Label-valued immediate.
+            self.builder.li_label(SCRATCH_A, label)
+        else:
+            # Label-valued data word (resolved post-build).
+            address = self.alloc_trigger()
+            self.data_labels.append((address, label))
+            self.builder.li(SCRATCH_B, address)
+            self.builder.load(SCRATCH_A, SCRATCH_B)
+        self.builder.jmpi(SCRATCH_A)
+        skip = self.rng.randint(1, 3)
+        self.pending.append((index + skip, label))
+        self.speculation_sources += 1
+
+    def item_call(self) -> None:
+        if not self.functions:
+            return self.item_alu()
+        self.builder.call(self.rng.choice(self.functions))
+        self.speculation_sources += 1
+
+    # ---- speculation-guarded secret blocks ------------------------------
+
+    def item_secret_block(self) -> None:
+        """The paper's S-Pattern behind an architecturally-dead guard.
+
+        The guard compares a *cold* trigger word (value 0) against r0
+        with BEQ, so the block is always skipped architecturally but
+        sits on the not-taken wrong path while the slow trigger load
+        resolves — a real dynamic speculation window.  Inside: a
+        secret read feeding a probe-array transmit, either unmasked
+        (leaky), masked to a constant line (mitigated) or fenced.
+        """
+        cfg = self.config
+        b = self.builder
+        skip = self.fresh("guard")
+        trigger = self.alloc_trigger()
+        b.li(SCRATCH_A, trigger)
+        b.load(SCRATCH_B, SCRATCH_A)          # cold -> slow resolve
+        b.beq(SCRATCH_B, 0, skip)             # arch: always taken
+        self.speculation_sources += 1
+        flavour = self.rng.choice(("leaky", "masked", "fenced"))
+        r_sec, r_idx, r_probe = SECRET_REGS
+        if flavour == "fenced":
+            b.fence()                         # kills the window
+        b.li(r_sec, cfg.secret_addr)
+        b.load(r_sec, r_sec)                  # secret read
+        if flavour == "masked":
+            # Constant line: the transmitted index ignores the secret.
+            b.andi(r_idx, r_sec, 0)
+        else:
+            b.andi(r_idx, r_sec, cfg.probe_lines - 1)
+        b.shli(r_idx, r_idx, cfg.line_bytes.bit_length() - 1)
+        b.li(r_probe, cfg.probe_base)
+        b.add(r_idx, r_probe, r_idx)
+        b.load(r_idx, r_idx)                  # transmit
+        b.label(skip)
+        if flavour == "leaky":
+            self.expected_leaky = True
+
+    # ---- assembly of the whole program ----------------------------------
+
+    def place_due_labels(self, index: int) -> None:
+        for due, label in list(self.pending):
+            if due <= index:
+                self.builder.label(label)
+                self.pending.remove((due, label))
+
+    def emit_functions(self) -> None:
+        cfg = self.config
+        if not cfg.calls:
+            return
+        for n in range(self.rng.randint(0, cfg.max_functions)):
+            self.functions.append(f"fn_{n}")
+        # Bodies are emitted after HALT; names exist before the body
+        # items run so call sites can reference them.
+
+    def emit_function_bodies(self) -> None:
+        cfg = self.config
+        junk: Tuple[Callable[[], None], ...] = (
+            self.item_alu, self.item_alui, self.item_li,
+            self.item_load, self.item_store, self.item_fence)
+        for name in self.functions:
+            self.builder.label(name)
+            for _ in range(self.rng.randint(1, cfg.max_function_items)):
+                self.rng.choice(junk)()
+            self.builder.ret()
+            self.speculation_sources += 1   # the RET itself
+
+    def generate(self) -> GeneratedProgram:
+        cfg = self.config
+        rng = self.rng
+        b = self.builder
+
+        # Public data image.
+        for word in range(cfg.data_words):
+            b.data_word(cfg.data_base + word * 8,
+                        rng.randint(0, (1 << 16) - 1))
+        secret_words: Tuple[int, ...] = ()
+        if cfg.secret:
+            b.data_word(cfg.secret_addr, rng.randrange(1 << 12))
+            secret_words = (cfg.secret_addr,)
+            for line in range(cfg.probe_lines):
+                b.data_word(cfg.probe_base + line * cfg.line_bytes, 0)
+
+        self.emit_functions()
+
+        # Weighted item menu.
+        menu: List[Tuple[int, str]] = [
+            (5, "alu"), (4, "alui"), (3, "li"), (3, "load"),
+            (3, "store"), (2, "load_direct"), (1, "flush"), (1, "fence"),
+            (1, "nop"), (3, "branch"),
+        ]
+        if cfg.jmpi:
+            menu.append((1, "jmpi"))
+        if cfg.calls:
+            menu.append((2, "call"))
+        population = [kind for weight, kind in menu for _ in range(weight)]
+
+        secret_blocks = 0
+        if cfg.secret and cfg.max_secret_blocks > 0:
+            secret_blocks = rng.randint(1, cfg.max_secret_blocks)
+        block_at = sorted(rng.sample(range(cfg.length),
+                                     min(secret_blocks, cfg.length)))
+
+        # Seed the pool registers with data so junk items do real work.
+        for reg in POOL_REGS[:3]:
+            b.li(reg, rng.randint(0, 255))
+
+        loop = cfg.loops and rng.random() < 0.6
+        if loop:
+            b.li(LOOP_REG, rng.randint(1, cfg.max_loop_iterations))
+            b.label("loop_top")
+
+        for index in range(cfg.length):
+            self.place_due_labels(index)
+            if block_at and index == block_at[0]:
+                block_at.pop(0)
+                self.item_secret_block()
+                continue
+            kind = rng.choice(population)
+            if kind == "branch":
+                self.item_branch(index)
+            elif kind == "jmpi":
+                self.item_jmpi(index)
+            elif kind == "call":
+                self.item_call()
+            else:
+                getattr(self, f"item_{kind}")()
+        self.place_due_labels(cfg.length + 8)
+
+        if loop:
+            b.addi(LOOP_REG, LOOP_REG, -1)
+            b.bne(LOOP_REG, 0, "loop_top")
+        b.halt()
+        self.emit_function_bodies()
+
+        program = b.build()
+        if self.data_labels:
+            patched = dict(program.initial_memory)
+            for address, label in self.data_labels:
+                patched[address] = program.labels[label]
+            program = dataclasses.replace(program, initial_memory=patched)
+        return GeneratedProgram(
+            program=program,
+            seed=None,
+            config=cfg,
+            secret_words=secret_words,
+            expected_leaky=self.expected_leaky,
+            speculation_sources=self.speculation_sources,
+        )
+
+
+def generate_program(
+    seed: object,
+    config: Optional[GeneratorConfig] = None,
+    rng: Optional[random.Random] = None,
+) -> GeneratedProgram:
+    """Generate one program.  ``seed`` feeds a private
+    :class:`random.Random` unless an ``rng`` is injected (campaigns
+    derive per-case rngs from one master seed)."""
+    config = config if config is not None else GeneratorConfig()
+    rng = rng if rng is not None else random.Random(seed)
+    generated = _Emitter(rng, config).generate()
+    generated.seed = seed
+    return generated
+
+
+def case_seed(master_seed: int, index: int) -> str:
+    """The per-case derived seed: a *string* seed is hashed with
+    SHA-512 by :class:`random.Random`, so every case stream is
+    independent yet bit-reproducible from ``(master_seed, index)``."""
+    return f"{master_seed}:{index}"

@@ -1,0 +1,193 @@
+"""Delta-debugging minimizer for fuzz disagreements.
+
+Given a program and a *predicate* (``True`` = the disagreement still
+reproduces), shrink the program while keeping the predicate true.
+Deterministic by construction — no randomness, stable iteration order
+— so the same input always shrinks to the same output.
+
+Two phases:
+
+1. **NOP-out (ddmin).**  Instructions are replaced by ``NOP`` in
+   chunks of halving granularity.  Addresses, labels and branch
+   targets are untouched, so every candidate is trivially well-formed.
+2. **Strip.**  The surviving NOPs are deleted and every embedded
+   address — branch/jump/call targets, the label table, label-valued
+   ``LI`` immediates and label-valued data words — is remapped through
+   the compaction map (a target pointing *at* a deleted NOP slides
+   forward to the next kept instruction, which is exactly where
+   fall-through execution would have arrived).  The stripped program
+   is kept only if the predicate still holds on it; then unused data
+   words are dropped greedily.
+
+A predicate must treat an *invalid* candidate (e.g. one whose oracle
+run no longer halts because the shrink broke the loop counter) as
+``False`` — :func:`repro.fuzz.differential.differential_check` already
+reports those as invalid rather than mismatching.
+"""
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, List
+
+from ..isa.instructions import INSTRUCTION_BYTES, Instruction, Opcode
+from ..isa.program import Program
+
+Predicate = Callable[[Program], bool]
+
+_NOP = Instruction(Opcode.NOP)
+
+
+@dataclass
+class MinimizeResult:
+    """Outcome of one minimization."""
+
+    program: Program
+    instructions_before: int
+    instructions_after: int
+    #: Predicate evaluations spent (the shrink budget actually used).
+    tests: int
+    #: Whether the strip phase could be applied.
+    stripped: bool
+
+    @property
+    def reduction(self) -> float:
+        if self.instructions_before == 0:
+            return 0.0
+        return 1.0 - self.instructions_after / self.instructions_before
+
+
+def _with_nops(program: Program, indices: List[int]) -> Program:
+    instructions = list(program.instructions)
+    for index in indices:
+        instructions[index] = _NOP
+    return dataclasses.replace(program, instructions=instructions)
+
+
+def strip_nops(program: Program) -> Program:
+    """Delete NOPs, remapping every embedded code address through the
+    compaction map (see module docstring)."""
+    label_addresses = set(program.labels.values())
+    kept: List[Instruction] = []
+    kept_old_addresses: List[int] = []
+    for address, instruction in program.iter_addressed():
+        if instruction.op is Opcode.NOP:
+            continue
+        kept.append(instruction)
+        kept_old_addresses.append(address)
+
+    def remap(address: int) -> int:
+        """New address of the first kept instruction at or after
+        ``address`` (falling through deleted NOPs)."""
+        for position, old in enumerate(kept_old_addresses):
+            if old >= address:
+                return (program.base_address
+                        + position * INSTRUCTION_BYTES)
+        return program.base_address + len(kept) * INSTRUCTION_BYTES
+
+    def remap_value(value: int) -> int:
+        return remap(value) if value in label_addresses else value
+
+    rewritten: List[Instruction] = []
+    for instruction in kept:
+        if instruction.is_branch and not instruction.is_indirect:
+            instruction = dataclasses.replace(
+                instruction, target=remap(instruction.target))
+        elif instruction.op is Opcode.LI:
+            instruction = dataclasses.replace(
+                instruction, imm=remap_value(instruction.imm))
+        rewritten.append(instruction)
+
+    entry = program.entry_point
+    return Program(
+        instructions=rewritten,
+        base_address=program.base_address,
+        labels={name: remap(address)
+                for name, address in program.labels.items()},
+        initial_memory={address: remap_value(value)
+                        for address, value
+                        in program.initial_memory.items()},
+        entry_point=remap(entry) if entry is not None else None,
+    )
+
+
+def _drop_data_words(
+    program: Program,
+    predicate: Predicate,
+    budget: List[int],
+) -> Program:
+    """Greedily delete initial-memory words the predicate ignores."""
+    current = program
+    for address in sorted(program.initial_memory):
+        if budget[0] <= 0:
+            break
+        memory = dict(current.initial_memory)
+        if address not in memory:
+            continue
+        del memory[address]
+        candidate = dataclasses.replace(current, initial_memory=memory)
+        budget[0] -= 1
+        if predicate(candidate):
+            current = candidate
+    return current
+
+
+def minimize_program(
+    program: Program,
+    predicate: Predicate,
+    *,
+    max_tests: int = 2000,
+) -> MinimizeResult:
+    """Shrink ``program`` while ``predicate`` stays true.
+
+    ``predicate(program)`` itself must be true on entry; a
+    ``ValueError`` is raised otherwise (a minimizer fed a
+    non-reproducing case would silently return garbage).
+    """
+    if not predicate(program):
+        raise ValueError("predicate does not hold on the input program")
+    budget = [max_tests]
+    before = len(program.instructions)
+
+    # Phase 1: ddmin NOP-out over the non-NOP instruction indices.
+    nopped: List[int] = []
+    candidates = [index for index, instruction
+                  in enumerate(program.instructions)
+                  if instruction.op is not Opcode.NOP]
+    granularity = max(1, len(candidates) // 2)
+    while granularity >= 1 and budget[0] > 0:
+        progress = False
+        position = 0
+        while position < len(candidates) and budget[0] > 0:
+            chunk = candidates[position:position + granularity]
+            trial = _with_nops(program, nopped + chunk)
+            budget[0] -= 1
+            if predicate(trial):
+                nopped.extend(chunk)
+                del candidates[position:position + granularity]
+                progress = True
+            else:
+                position += granularity
+        if granularity == 1 and not progress:
+            break
+        granularity = max(1, granularity // 2) if granularity > 1 else 0
+
+    current = _with_nops(program, nopped)
+
+    # Phase 2: strip the NOPs (compaction) if the case survives it.
+    stripped = strip_nops(current)
+    budget[0] -= 1
+    applied = budget[0] >= 0 and predicate(stripped)
+    if applied:
+        current = stripped
+        current = _drop_data_words(current, predicate, budget)
+
+    return MinimizeResult(
+        program=current,
+        instructions_before=before,
+        instructions_after=sum(
+            1 for instruction in current.instructions
+            if instruction.op is not Opcode.NOP),
+        tests=max_tests - budget[0],
+        stripped=applied,
+    )

@@ -28,7 +28,7 @@ from typing import List
 
 from ..errors import AssemblyError
 from .builder import ProgramBuilder
-from .instructions import WORD_BYTES
+from .instructions import WORD_BYTES, Instruction, Opcode
 from .program import Program
 
 _LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):$")
@@ -149,10 +149,15 @@ def assemble(source: str, base_address: int = 0x1000) -> Program:
         elif mnemonic == "jmpi":
             builder.jmpi(_parse_reg(operands[0], line_no))
         elif mnemonic == "call":
+            if len(operands) not in (1, 2):
+                raise AssemblyError(f"line {line_no}: call target[, rd]")
             target = operands[0]
+            rd = (_parse_reg(operands[1], line_no)
+                  if len(operands) == 2 else 31)
             builder.call(
                 _parse_int(target, line_no) if target[0].isdigit()
-                else target
+                else target,
+                rd=rd,
             )
         elif mnemonic == "ret":
             if operands:
@@ -171,3 +176,137 @@ def assemble(source: str, base_address: int = 0x1000) -> Program:
             raise AssemblyError(f"line {line_no}: unknown mnemonic {mnemonic!r}")
 
     return builder.build()
+
+
+# ---------------------------------------------------------------------------
+# Disassembly (the inverse of :func:`assemble`)
+# ---------------------------------------------------------------------------
+
+_MNEMONIC = {
+    Opcode.ADD: "add", Opcode.SUB: "sub", Opcode.MUL: "mul",
+    Opcode.DIV: "div", Opcode.AND: "and", Opcode.OR: "or",
+    Opcode.XOR: "xor", Opcode.SHL: "shl", Opcode.SHR: "shr",
+    Opcode.ADDI: "addi", Opcode.ANDI: "andi", Opcode.XORI: "xori",
+    Opcode.SHLI: "shli", Opcode.SHRI: "shri",
+    Opcode.BEQ: "beq", Opcode.BNE: "bne",
+    Opcode.BLT: "blt", Opcode.BGE: "bge",
+}
+
+
+def _format_target(address: int, names_at: dict) -> str:
+    """A branch/jump/call operand: the label at ``address`` when one
+    exists, otherwise the bare decimal address (the parser reads any
+    digit-leading operand as an integer)."""
+    names = names_at.get(address)
+    if names:
+        return names[0]
+    return str(address)
+
+
+def disassemble(program: Program) -> str:
+    """Render ``program`` as :func:`assemble`-compatible source.
+
+    The output round-trips: ``assemble(disassemble(p), p.base_address)``
+    rebuilds the same instruction encodings, labels and data image for
+    any builder-produced program.  Two canonicalizations apply —
+    ``note`` strings are emitted as comments (and therefore dropped on
+    reassembly) and operand fields unused by an opcode are not encoded
+    — so comparisons should use the encoding fields each opcode
+    defines.  Only the entry point cannot be expressed in the text
+    format; a program whose entry differs from its base address is
+    rejected.
+    """
+    if program.entry_point != program.base_address:
+        raise AssemblyError(
+            "cannot disassemble a program whose entry point "
+            f"({program.entry_point:#x}) is not its base address"
+        )
+    names_at: dict = {}
+    for name, address in sorted(program.labels.items()):
+        if not _LABEL_RE.match(name + ":"):
+            raise AssemblyError(f"label {name!r} is not representable")
+        names_at.setdefault(address, []).append(name)
+
+    lines: List[str] = []
+    for address, instr in program.iter_addressed():
+        for name in names_at.get(address, ()):
+            lines.append(f"{name}:")
+        lines.append("    " + _format_instruction(instr, names_at))
+    for name in names_at.get(program.end_address, ()):
+        lines.append(f"{name}:")
+
+    # Data image: one ``.data`` section per run of consecutive words.
+    run_start = None
+    run_values: List[int] = []
+
+    def flush_run() -> None:
+        if run_start is None:
+            return
+        lines.append(f".data {run_start:#x}")
+        for offset in range(0, len(run_values), 8):
+            chunk = run_values[offset:offset + 8]
+            lines.append("    .word " + ", ".join(f"{v:#x}" for v in chunk))
+
+    for address in sorted(program.initial_memory):
+        value = program.initial_memory[address]
+        if (run_start is not None
+                and address == run_start + len(run_values) * WORD_BYTES):
+            run_values.append(value)
+            continue
+        flush_run()
+        run_start = address
+        run_values = [value]
+    flush_run()
+    return "\n".join(lines) + "\n"
+
+
+def _format_instruction(instr: Instruction, names_at: dict) -> str:
+    op = instr.op
+    comment = f"    ; {instr.note}" if instr.note else ""
+    if op in _ALU3_OPS:
+        text = (f"{_MNEMONIC[op]} r{instr.rd}, "
+                f"r{instr.rs1}, r{instr.rs2}")
+    elif op in _ALUI_OPS:
+        text = (f"{_MNEMONIC[op]} r{instr.rd}, "
+                f"r{instr.rs1}, {instr.imm}")
+    elif op is Opcode.LI:
+        text = f"li r{instr.rd}, {instr.imm}"
+    elif op is Opcode.MOV:
+        text = f"mov r{instr.rd}, r{instr.rs1}"
+    elif op is Opcode.LOAD:
+        text = f"load r{instr.rd}, r{instr.rs1}, {instr.imm}"
+    elif op is Opcode.STORE:
+        text = f"store r{instr.rs2}, r{instr.rs1}, {instr.imm}"
+    elif op is Opcode.CLFLUSH:
+        text = f"clflush r{instr.rs1}, {instr.imm}"
+    elif op in _BRANCH_OPS:
+        text = (f"{_MNEMONIC[op]} r{instr.rs1}, r{instr.rs2}, "
+                f"{_format_target(instr.target, names_at)}")
+    elif op is Opcode.JMP:
+        text = f"jmp {_format_target(instr.target, names_at)}"
+    elif op is Opcode.JMPI:
+        text = f"jmpi r{instr.rs1}"
+    elif op is Opcode.CALL:
+        text = f"call {_format_target(instr.target, names_at)}"
+        if instr.rd != 31:
+            text += f", r{instr.rd}"
+    elif op is Opcode.RET:
+        text = "ret" if instr.rs1 == 31 else f"ret r{instr.rs1}"
+    elif op is Opcode.FENCE:
+        text = "fence"
+    elif op is Opcode.RDCYCLE:
+        text = f"rdcycle r{instr.rd}"
+    elif op is Opcode.NOP:
+        text = "nop"
+    elif op is Opcode.HALT:
+        text = "halt"
+    else:  # pragma: no cover - the ISA above is exhaustive
+        raise AssemblyError(f"cannot disassemble opcode {op}")
+    return text + comment
+
+
+_ALU3_OPS = {Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.AND,
+             Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHR}
+_ALUI_OPS = {Opcode.ADDI, Opcode.ANDI, Opcode.XORI, Opcode.SHLI,
+             Opcode.SHRI}
+_BRANCH_OPS = {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE}

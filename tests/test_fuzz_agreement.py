@@ -1,0 +1,62 @@
+"""Certifier-agreement oracle: symx vs dynamic reality."""
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.corpus import (
+    CORPUS_VARIANTS,
+    GADGET_KINDS,
+    build_corpus_variant,
+    corpus_secret_words,
+)
+from repro.fuzz import (
+    GeneratorConfig,
+    case_seed,
+    certify_agreement,
+    generate_program,
+    two_secret_probe,
+)
+
+
+@pytest.mark.parametrize("kind", GADGET_KINDS)
+@pytest.mark.parametrize("variant", CORPUS_VARIANTS)
+def test_corpus_agreement_clean(kind, variant):
+    program = build_corpus_variant(kind, variant)
+    outcome = certify_agreement(program, corpus_secret_words(),
+                                name=f"{kind}/{variant}")
+    assert outcome is not None
+    assert outcome.clean, [d.render() for d in outcome.disagreements]
+    expected = "LEAKY" if variant == "unsafe" else "PROVED_SAFE"
+    assert outcome.verdict == expected
+
+
+def test_generated_agreement_clean():
+    config = GeneratorConfig(secret=True, length=20, loops=False)
+    verdicts = set()
+    for index in range(12):
+        generated = generate_program(case_seed("agree", index), config)
+        outcome = certify_agreement(generated.program,
+                                    generated.secret_words)
+        if outcome is None:
+            continue
+        verdicts.add(outcome.verdict)
+        assert outcome.clean, \
+            [d.render() for d in outcome.disagreements]
+    # The sweep must exercise both verdict sides to mean anything.
+    assert "LEAKY" in verdicts
+    assert "PROVED_SAFE" in verdicts
+
+
+def test_two_secret_probe_detects_planted_leak():
+    config = GeneratorConfig(secret=True, length=22, loops=False)
+    generated = generate_program("ev-gen:7", config)
+    diff = two_secret_probe(generated.program, generated.secret_words,
+                            warm_words=generated.secret_words)
+    assert diff, "the pinned leaky seed shows no dynamic diff"
+
+
+def test_probe_empty_without_secret_dependence():
+    config = GeneratorConfig(secret=False)
+    generated = generate_program("no-secret", config)
+    diff = two_secret_probe(generated.program, (0x5000,))
+    assert diff == ()

@@ -1,0 +1,116 @@
+"""Minimizer: deterministic shrinking that preserves the predicate."""
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz import (
+    GeneratorConfig,
+    generate_program,
+    leak_fitness,
+    minimize_program,
+)
+from repro.fuzz.minimize import strip_nops
+from repro.isa.assembler import disassemble
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Opcode
+from repro.isa.oracle import run_oracle
+
+#: A generated program known (and pinned by
+#: tests/data/fuzz_regressions/origin_leak_min_ev_gen_7.json) to leak
+#: on the unprotected core.
+KNOWN_LEAKY_SEED = "ev-gen:7"
+KNOWN_LEAKY_CONFIG = GeneratorConfig(secret=True, length=22,
+                                     loops=False)
+#: The pinned shrink bound: the 60+-instruction generated program
+#: must come down to at most this many instructions.
+PINNED_SHRINK_BOUND = 10
+
+
+def _known_leaky():
+    generated = generate_program(KNOWN_LEAKY_SEED, KNOWN_LEAKY_CONFIG)
+    assert leak_fitness(generated.program, generated.secret_words,
+                        "origin",
+                        warm_words=generated.secret_words), \
+        "the pinned seed no longer leaks - update KNOWN_LEAKY_SEED"
+    return generated
+
+
+def _still_leaks(generated):
+    def predicate(candidate):
+        return bool(leak_fitness(candidate, generated.secret_words,
+                                 "origin",
+                                 warm_words=generated.secret_words))
+    return predicate
+
+
+def test_known_bad_shrinks_below_pinned_bound():
+    generated = _known_leaky()
+    result = minimize_program(generated.program,
+                              _still_leaks(generated))
+    assert result.instructions_after <= PINNED_SHRINK_BOUND
+    assert result.instructions_after < result.instructions_before
+    assert result.stripped
+
+
+def test_minimize_is_deterministic():
+    generated = _known_leaky()
+    first = minimize_program(generated.program,
+                             _still_leaks(generated))
+    second = minimize_program(generated.program,
+                              _still_leaks(generated))
+    assert disassemble(first.program) == disassemble(second.program)
+    assert first.tests == second.tests
+
+
+def test_shrunk_case_still_reproduces():
+    generated = _known_leaky()
+    result = minimize_program(generated.program,
+                              _still_leaks(generated))
+    assert _still_leaks(generated)(result.program)
+    # ... and the shrunk program still halts on the oracle.
+    assert run_oracle(result.program,
+                      max_instructions=200_000).halted
+
+
+def test_predicate_must_hold_on_entry():
+    generated = generate_program("min-entry", GeneratorConfig())
+    with pytest.raises(ValueError):
+        minimize_program(generated.program, lambda _: False)
+
+
+def test_strip_nops_remaps_branches_and_labels():
+    b = ProgramBuilder()
+    b.li(1, 5)
+    b.nop()
+    b.nop()
+    b.beq(1, 0, "skip")
+    b.nop()
+    b.li(2, 7)
+    b.label("skip")
+    b.halt()
+    program = b.build()
+    stripped = strip_nops(program)
+    assert all(i.op is not Opcode.NOP
+               for i in stripped.instructions)
+    before = run_oracle(program, max_instructions=1000)
+    after = run_oracle(stripped, max_instructions=1000)
+    assert after.halted
+    assert before.reg(1) == after.reg(1)
+    assert before.reg(2) == after.reg(2)
+
+
+def test_strip_nops_remaps_label_valued_data():
+    b = ProgramBuilder()
+    b.li_label(1, "target")
+    b.nop()
+    b.jmpi(1)
+    b.nop()
+    b.label("target")
+    b.halt()
+    program = b.build()
+    stripped = strip_nops(program)
+    assert run_oracle(stripped, max_instructions=1000).halted
+    assert stripped.labels["target"] == \
+        stripped.instructions.index(
+            next(i for i in stripped.instructions
+                 if i.op is Opcode.HALT)) * 4 + stripped.base_address
