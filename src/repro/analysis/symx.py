@@ -53,7 +53,17 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..isa.instructions import (
     INSTRUCTION_BYTES,
@@ -65,7 +75,7 @@ from ..isa.instructions import (
     mask64,
 )
 from ..isa.program import Program
-from ..params import MachineParams
+from ..params import MachineParams, RunOptions
 from .report import AnalysisReport
 from .solver import (
     App,
@@ -93,6 +103,9 @@ DEFAULT_MAX_PATHS = 4096
 DEFAULT_MAX_STEPS = 200_000
 #: Default nested-misprediction depth (frames active at once).
 DEFAULT_MAX_DEPTH = 2
+#: How often (in steps) the wall-clock deadline and the cancellation
+#: hook are polled during exploration.
+_BUDGET_POLL_STEPS = 256
 
 _ALU_OP = {
     Opcode.ADD: "add", Opcode.ADDI: "add",
@@ -321,7 +334,10 @@ class PathBudgetExceeded(Exception):
 class _Explorer:
     def __init__(self, program: Program, secret_words: Sequence[int],
                  *, window: int, max_depth: int, max_paths: int,
-                 max_steps: int, solver: ConstraintSolver) -> None:
+                 max_steps: int, solver: ConstraintSolver,
+                 deadline: Optional[float] = None,
+                 cancel_check: Optional[Callable[[], bool]] = None,
+                 ) -> None:
         self.program = program
         self.imap: Dict[int, Instruction] = dict(program.iter_addressed())
         self.image = dict(program.initial_memory)
@@ -333,6 +349,8 @@ class _Explorer:
         self.max_paths = max_paths
         self.max_steps = max_steps
         self.solver = solver
+        self.deadline = deadline
+        self.cancel_check = cancel_check
 
         self.observations: List[Observation] = []
         self.control_candidates: List[ControlCandidate] = []
@@ -443,6 +461,32 @@ class _Explorer:
                 "detail": f"symbolic step budget exhausted "
                           f"({self.max_steps} steps); verdict degrades "
                           f"to UNKNOWN",
+            })
+        if self.steps % _BUDGET_POLL_STEPS == 0:
+            self.check_wall_budget()
+
+    def check_wall_budget(self) -> None:
+        """Raise :class:`PathBudgetExceeded` when the wall-clock
+        deadline has passed or the cancellation hook fired (polled
+        every :data:`_BUDGET_POLL_STEPS` steps and before each solver
+        call of the verdict phase — never inside a tight loop, so
+        exploration cost stays unchanged when no deadline is set)."""
+        if self.cancel_check is not None and self.cancel_check():
+            raise PathBudgetExceeded({
+                "kind": "cancelled",
+                "steps": self.steps,
+                "paths": self.paths,
+                "detail": "certification cancelled by its owner; "
+                          "verdict degrades to UNKNOWN",
+            })
+        if self.deadline is not None \
+                and time.monotonic() >= self.deadline:
+            raise PathBudgetExceeded({
+                "kind": "wall_clock",
+                "steps": self.steps,
+                "paths": self.paths,
+                "detail": "wall-clock budget exhausted; verdict "
+                          "degrades to UNKNOWN",
             })
 
     def _charge_path(self) -> None:
@@ -940,6 +984,9 @@ def certify_program(
     fault_plan: Optional[object] = None,
     max_leaks: int = 16,
     name: str = "program",
+    wall_clock_budget: Optional[float] = None,
+    cancel_check: Optional[Callable[[], bool]] = None,
+    options: Optional[RunOptions] = None,
 ) -> CertifyResult:
     """Certify ``program`` speculatively noninterferent — or refute it
     with a replayable counterexample.
@@ -947,14 +994,31 @@ def certify_program(
     See the module docstring for semantics.  ``replay`` additionally
     runs every witness on the dynamic pipeline (``Processor`` in
     unsafe ORIGIN mode); disable it for purely symbolic studies.
+
+    ``wall_clock_budget`` (seconds) and ``cancel_check`` bound the
+    certification the way the step/path budgets do: when the deadline
+    passes or the hook fires, exploration and the verdict phase stop,
+    unresolved sinks stay unresolved, and the verdict degrades to
+    ``UNKNOWN`` with a structured ``wall_clock``/``cancelled`` warning
+    — never a hang.  Both may also arrive bundled as ``options``
+    (:class:`repro.params.RunOptions`, the service convention);
+    explicit keywords win.
     """
+    if options is not None:
+        if wall_clock_budget is None:
+            wall_clock_budget = options.wall_clock_budget
+        if cancel_check is None:
+            cancel_check = options.cancel_check
     started = time.perf_counter()
+    deadline = (time.monotonic() + wall_clock_budget
+                if wall_clock_budget is not None else None)
     secrets = tuple(sorted(set(mask64(w) & _WORD_ALIGN
                                for w in secret_words)))
     solver = ConstraintSolver()
     explorer = _Explorer(program, secrets, window=window,
                          max_depth=max_depth, max_paths=max_paths,
-                         max_steps=max_steps, solver=solver)
+                         max_steps=max_steps, solver=solver,
+                         deadline=deadline, cancel_check=cancel_check)
     explorer.explore()
 
     line_bytes = machine.memory.line_bytes if machine is not None else 64
@@ -967,13 +1031,30 @@ def certify_program(
     unresolved: Set[int] = set()
     safe: Set[int] = set()
 
+    def verdict_budget_ok() -> bool:
+        """Poll wall-clock/cancel before each solver call of the
+        verdict phase; on exhaustion record one structured warning and
+        mark the run truncated (the remaining sinks stay unresolved,
+        degrading the verdict to ``UNKNOWN`` instead of overrunning)."""
+        if explorer.truncated:
+            warned = {w.get("kind") for w in explorer.warnings}
+            if warned & {"wall_clock", "cancelled"}:
+                return False
+        try:
+            explorer.check_wall_budget()
+        except PathBudgetExceeded as exc:
+            explorer.truncated = True
+            explorer.warnings.append(exc.warning)
+            return False
+        return True
+
     for obs in explorer.observations:
         if not obs.addr.secret:
             safe.add(obs.pc)
             continue
         if obs.pc in leaky_pcs or obs.pc in unresolved:
             continue
-        if len(leaks) >= max_leaks:
+        if len(leaks) >= max_leaks or not verdict_budget_ok():
             unresolved.add(obs.pc)
             continue
         secret_vars = sorted(
@@ -1015,7 +1096,7 @@ def certify_program(
     for candidate in explorer.control_candidates:
         if candidate.pc in leaky_pcs or candidate.pc in unresolved:
             continue
-        if len(leaks) >= max_leaks:
+        if len(leaks) >= max_leaks or not verdict_budget_ok():
             unresolved.add(candidate.pc)
             continue
         secret_vars = sorted(

@@ -633,6 +633,30 @@ def _cmd_fuzz_evolve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        rate=args.rate,
+        burst=args.burst,
+        checkpoint=args.checkpoint,
+        machine=args.machine,
+        default_wall_clock=args.wall_clock,
+        drain_grace=args.drain_grace,
+    )
+    try:
+        asyncio.run(run_server(config))
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -920,6 +944,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_fev.add_argument("--population", type=int, default=5)
     p_fev.add_argument("--offspring", type=int, default=3)
     p_fev.set_defaults(func=_cmd_fuzz_evolve)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the analysis-as-a-service daemon (HTTP/JSON job "
+             "queue with tiered graceful degradation; see "
+             "docs/serving.md)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8377,
+                         help="listen port (0 = ephemeral; default 8377)")
+    p_serve.add_argument("--workers", type=int, default=4,
+                         help="analysis worker threads (default 4)")
+    p_serve.add_argument("--queue-depth", type=int, default=64,
+                         help="background-job queue bound; submissions "
+                              "beyond it are shed with 429 (default 64)")
+    p_serve.add_argument("--rate", type=float, default=50.0,
+                         help="per-client admission rate, requests/s "
+                              "(default 50)")
+    p_serve.add_argument("--burst", type=float, default=100.0,
+                         help="per-client burst allowance (default 100)")
+    p_serve.add_argument("--checkpoint", default=None,
+                         help="JSONL job journal for crash-safe "
+                              "restart/resume (default: ephemeral)")
+    p_serve.add_argument("--machine", default="tiny",
+                         choices=["paper", "a57-like", "i7-like",
+                                  "xeon-like", "tiny"],
+                         help="machine preset for simulate jobs "
+                              "(default: tiny)")
+    p_serve.add_argument("--wall-clock", type=float, default=20.0,
+                         help="default per-job wall-clock budget in "
+                              "seconds (default 20)")
+    p_serve.add_argument("--drain-grace", type=float, default=30.0,
+                         help="seconds a SIGTERM drain waits before "
+                              "cancelling in-flight jobs (default 30)")
+    p_serve.set_defaults(func=_cmd_serve)
 
     for name, func, with_scale in [
         ("figure5", _cmd_figure5, True),

@@ -21,6 +21,7 @@ import sys
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from zlib import crc32
 
 from ..core.policy import EVALUATION_MODES, ProtectionMode, SecurityConfig
 from ..errors import SimulationError
@@ -47,8 +48,24 @@ __all__ = [
     "SweepResult",
     "SweepRow",
     "SweepTask",
+    "backoff_delay",
     "execute_sweep_task",
 ]
+
+
+def backoff_delay(backoff: float, attempt: int, key: str) -> float:
+    """Exponential retry backoff with seeded deterministic jitter.
+
+    The base delay doubles per attempt (``backoff * 2**(attempt-1)``)
+    and is then scaled by a factor in ``[0.5, 1.5)`` derived from a
+    CRC of ``(key, attempt)``.  Parallel workers retrying different
+    (benchmark, mode) tasks therefore never synchronize into a retry
+    storm, yet every task's schedule is a pure function of its key —
+    reruns and resumes wait exactly the same amount.
+    """
+    base = backoff * (2 ** (max(1, attempt) - 1))
+    frac = (crc32(f"{key}#{attempt}".encode()) & 0xFFF) / 0x1000
+    return base * (0.5 + frac)
 
 
 def run_benchmark(
@@ -191,7 +208,9 @@ def execute_sweep_task(task: SweepTask) -> SweepRow:
             )
         except SimulationError as exc:
             if attempts <= task.retries:
-                time.sleep(task.backoff * (2 ** (attempts - 1)))
+                time.sleep(backoff_delay(
+                    task.backoff, attempts,
+                    f"{task.benchmark}/{task.mode.value}"))
                 continue
             return SweepRow(
                 benchmark=task.benchmark, mode=task.mode, status="failed",

@@ -7,7 +7,7 @@ sensitivity study of Table VI (Section VI.D).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from .errors import ConfigError
 
@@ -42,6 +42,15 @@ class RunOptions:
     wall_clock_budget: Optional[float] = None
     #: Fault-injection plan (see :mod:`repro.robustness.faults`).
     fault_plan: Optional["FaultPlan"] = None
+    #: Cooperative cancellation hook, polled at the same coarse cadence
+    #: as the wall-clock budget.  Returning ``True`` ends the run with
+    #: ``termination="cancelled"`` (the ``repro serve`` job manager
+    #: aborts in-flight simulations through this).  Excluded from
+    #: equality so two option bundles with the same budgets compare
+    #: equal; must be ``None`` for options that cross process
+    #: boundaries (parallel sweep payloads pickle their options).
+    cancel_check: Optional[Callable[[], bool]] = field(
+        default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.max_cycles is not None and self.max_cycles <= 0:
@@ -60,11 +69,12 @@ class RunOptions:
         max_cycles: Optional[int] = None,
         wall_clock_budget: Optional[float] = None,
         fault_plan: Optional["FaultPlan"] = None,
+        cancel_check: Optional[Callable[[], bool]] = None,
     ) -> "RunOptions":
         """A copy with any explicitly-given legacy keyword overriding
         the corresponding field (the old-keywords-win rule)."""
         if max_cycles is None and wall_clock_budget is None \
-                and fault_plan is None:
+                and fault_plan is None and cancel_check is None:
             return self
         return RunOptions(
             max_cycles=max_cycles if max_cycles is not None
@@ -73,6 +83,8 @@ class RunOptions:
             if wall_clock_budget is not None else self.wall_clock_budget,
             fault_plan=fault_plan if fault_plan is not None
             else self.fault_plan,
+            cancel_check=cancel_check if cancel_check is not None
+            else self.cancel_check,
         )
 
     @classmethod
@@ -82,13 +94,15 @@ class RunOptions:
         max_cycles: Optional[int] = None,
         wall_clock_budget: Optional[float] = None,
         fault_plan: Optional["FaultPlan"] = None,
+        cancel_check: Optional[Callable[[], bool]] = None,
     ) -> "RunOptions":
         """Resolve the ``options``-plus-legacy-keywords calling
         convention into one :class:`RunOptions`."""
         base = options if options is not None else cls()
         return base.merged(max_cycles=max_cycles,
                            wall_clock_budget=wall_clock_budget,
-                           fault_plan=fault_plan)
+                           fault_plan=fault_plan,
+                           cancel_check=cancel_check)
 
 
 def _power_of_two(value: int) -> bool:

@@ -35,7 +35,7 @@ from ..core.filters import HazardFilters, MissVerdict
 from ..core.icache_filter import ICacheHitFilter
 from ..core.policy import ProtectionMode, SecurityConfig
 from ..core.tpbuf import TPBuf
-from ..errors import CycleBudgetExceeded, SimulationError
+from ..errors import CycleBudgetExceeded, RunCancelled, SimulationError
 from ..frontend.branch_predictor import BranchPredictor
 from ..isa.instructions import (
     INSTRUCTION_BYTES,
@@ -225,6 +225,12 @@ class Processor:
         which budget did; with ``raise_on_budget`` a
         :class:`~repro.errors.CycleBudgetExceeded` (carrying the report)
         is raised instead of returning quietly.
+
+        A :attr:`~repro.params.RunOptions.cancel_check` hook in the
+        options is polled at the same coarse cadence as the wall-clock
+        budget; when it returns ``True`` the run stops cooperatively
+        with ``termination="cancelled"`` (``raise_on_budget`` turns
+        that into :class:`~repro.errors.RunCancelled`).
         """
         resolved = RunOptions.coerce(
             options if options is not None else self.options,
@@ -233,23 +239,35 @@ class Processor:
         )
         max_cycles = resolved.effective_max_cycles
         wall_clock_budget = resolved.wall_clock_budget
+        cancel_check = resolved.cancel_check
         deadline = None
         if wall_clock_budget is not None:
             deadline = time.monotonic() + wall_clock_budget
         budget = ""
+        poll = deadline is not None or cancel_check is not None
         while not self.halted and self.cycle < max_cycles:
             self.step()
-            if deadline is not None \
-                    and self.cycle % _WALL_CLOCK_POLL_CYCLES == 0 \
-                    and time.monotonic() >= deadline:
-                budget = "wall_clock"
-                break
+            if poll and self.cycle % _WALL_CLOCK_POLL_CYCLES == 0:
+                if cancel_check is not None and cancel_check():
+                    budget = "cancelled"
+                    break
+                if deadline is not None \
+                        and time.monotonic() >= deadline:
+                    budget = "wall_clock"
+                    break
         if not self.halted and not budget and self.cycle >= max_cycles:
             budget = "cycle_budget"
         if budget:
             self.report.termination = budget
         report = self.finalize_report()
         if budget and raise_on_budget:
+            if budget == "cancelled":
+                raise RunCancelled(
+                    f"run '{report.name}' cancelled after "
+                    f"{self.cycle} cycles "
+                    f"({report.committed} committed)",
+                    report=report,
+                )
             raise CycleBudgetExceeded(
                 f"run '{report.name}' exhausted its {budget} budget "
                 f"after {self.cycle} cycles "

@@ -35,9 +35,11 @@ class SimReport:
     committed_mem_blocked: int = 0
     halted: bool = False
     #: What ended the run: ``"halt"``, ``"cycle_budget"``,
-    #: ``"wall_clock"`` or ``"deadlock"`` ("" until finalized) — the
-    #: programmatic twin of :class:`~repro.errors.CycleBudgetExceeded`
-    #: vs :class:`~repro.errors.DeadlockError`.
+    #: ``"wall_clock"``, ``"cancelled"`` or ``"deadlock"`` ("" until
+    #: finalized) — the programmatic twin of
+    #: :class:`~repro.errors.CycleBudgetExceeded` vs
+    #: :class:`~repro.errors.RunCancelled` vs
+    #: :class:`~repro.errors.DeadlockError`.
     termination: str = ""
     #: Per-kind injected fault counts when the run carried a
     #: :class:`~repro.robustness.faults.FaultInjector` (else empty).

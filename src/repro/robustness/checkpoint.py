@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from typing import Any, Dict, Iterable, Optional, Tuple
 
 from ..errors import SimulationError
@@ -130,8 +131,14 @@ class CheckpointStore:
             os.fsync(handle.fileno())
 
     def append(self, key: str, record: Dict[str, Any]) -> None:
-        """Durably append one result record."""
+        """Durably append one result record.
+
+        A torn trailing line left by a crash mid-append is truncated
+        away first — appending after an unterminated fragment would
+        glue the new record onto it and corrupt *both* lines.
+        """
         self._assert_writable()
+        self._repair_torn_tail()
         payload = dict(record)
         payload["kind"] = "row"
         payload["key"] = key
@@ -140,22 +147,90 @@ class CheckpointStore:
             handle.flush()
             os.fsync(handle.fileno())
 
+    def _repair_torn_tail(self) -> None:
+        """Truncate an unterminated final line (the crash-mid-write
+        signature: ``fsync`` per append means at most the very last
+        line can be partial).  The row it would have recorded simply
+        re-runs; loads already tolerate the fragment, but appends must
+        not extend it."""
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r+b") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            if size == 0:
+                return
+            handle.seek(size - 1)
+            if handle.read(1) == b"\n":
+                return
+            # Scan back to the start of the unterminated fragment.
+            start = size - 1
+            chunk = 4096
+            while start > 0:
+                step = min(chunk, start)
+                handle.seek(start - step)
+                data = handle.read(step)
+                cut = data.rfind(b"\n")
+                if cut >= 0:
+                    start = start - step + cut + 1
+                    break
+                start -= step
+            handle.seek(start)
+            fragment = handle.read(size - start)
+            try:
+                json.loads(fragment.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                pass
+            else:
+                # Complete record, only its newline was lost: keep it.
+                handle.seek(0, os.SEEK_END)
+                handle.write(b"\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+                return
+            warnings.warn(
+                f"{self.path}: truncating torn trailing line "
+                f"({size - start} byte(s) from a crash mid-append); "
+                f"the interrupted row will re-run",
+                RuntimeWarning, stacklevel=3,
+            )
+            handle.truncate(start)
+            handle.flush()
+            os.fsync(handle.fileno())
+
     # ---- reading ---------------------------------------------------------
 
     def _iter_records(self) -> Iterable[Dict[str, Any]]:
-        with open(self.path) as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    # A torn trailing line from a crash mid-append; the
-                    # row it would have recorded simply re-runs.
-                    continue
-                if isinstance(record, dict):
-                    yield record
+        with open(self.path, "rb") as handle:
+            raw_lines = handle.readlines()
+        for index, raw in enumerate(raw_lines):
+            last = index == len(raw_lines) - 1
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if last and not raw.endswith(b"\n"):
+                    # The crash signature: a torn trailing line from a
+                    # kill mid-append.  Tolerate and warn; the row it
+                    # would have recorded simply re-runs, and the next
+                    # append truncates the fragment away.
+                    warnings.warn(
+                        f"{self.path}: ignoring torn trailing line "
+                        f"(crash mid-append); the interrupted row "
+                        f"will re-run",
+                        RuntimeWarning, stacklevel=4,
+                    )
+                else:
+                    warnings.warn(
+                        f"{self.path}: skipping unreadable checkpoint "
+                        f"line {index + 1}",
+                        RuntimeWarning, stacklevel=4,
+                    )
+                continue
+            if isinstance(record, dict):
+                yield record
 
     def load(self) -> Tuple[Dict[str, Any], Dict[str, Dict[str, Any]]]:
         """Return ``(header_config, rows_by_key)``; last record wins."""

@@ -1,0 +1,46 @@
+"""``repro serve`` — fault-tolerant analysis-as-a-service.
+
+See :mod:`repro.serve.server` for the architecture and
+``docs/serving.md`` for the operator guide.
+"""
+from .admission import AdmissionController, AdmissionStats, TokenBucket
+from .cache import CacheStats, Claim, ResultCache
+from .client import JobTimeout, Response, ServeClient, ServeClientError
+from .engine import AnalysisEngine, strip_timing
+from .jobs import JobStore, NullJobStore
+from .protocol import (
+    Budgets,
+    JobKind,
+    JobRecord,
+    JobState,
+    Submission,
+    SubmissionError,
+    Tier,
+)
+from .server import ReproServer, ServeConfig, run_server
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "AnalysisEngine",
+    "Budgets",
+    "CacheStats",
+    "Claim",
+    "JobKind",
+    "JobRecord",
+    "JobState",
+    "JobStore",
+    "JobTimeout",
+    "NullJobStore",
+    "ReproServer",
+    "Response",
+    "ResultCache",
+    "ServeClient",
+    "ServeClientError",
+    "ServeConfig",
+    "Submission",
+    "SubmissionError",
+    "Tier",
+    "run_server",
+    "strip_timing",
+]

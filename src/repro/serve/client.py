@@ -1,0 +1,150 @@
+"""Blocking client for the ``repro serve`` HTTP API.
+
+Built on :mod:`http.client` so tools and tests drive the daemon from
+plain threads or subprocesses without touching asyncio.  One
+connection per request (the server speaks ``Connection: close``).
+"""
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import ServeError
+
+
+class ServeClientError(ServeError):
+    """The server was unreachable or answered with junk."""
+
+
+class JobTimeout(ServeError):
+    """A polled job did not finish within the client-side deadline."""
+
+
+@dataclass
+class Response:
+    status: int
+    payload: Dict[str, object]
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def shed(self) -> bool:
+        return self.status == 429
+
+
+class ServeClient:
+    """Thin wrapper over the job API (submit / poll / cancel)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8377,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ---- transport --------------------------------------------------------
+
+    def request(self, method: str, path: str,
+                body: Optional[Dict[str, object]] = None) -> Response:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            payload = json.dumps(body).encode() if body is not None \
+                else None
+            headers = {"Content-Type": "application/json"} \
+                if payload else {}
+            connection.request(method, path, body=payload,
+                               headers=headers)
+            raw = connection.getresponse()
+            data = raw.read()
+            try:
+                decoded = json.loads(data.decode("utf-8")) if data else {}
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                raise ServeClientError(
+                    f"non-JSON response ({raw.status}): {exc}") from None
+            if not isinstance(decoded, dict):
+                raise ServeClientError(
+                    f"unexpected response shape: {type(decoded).__name__}")
+            return Response(status=raw.status, payload=decoded)
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServeClientError(
+                f"{method} {path} against "
+                f"{self.host}:{self.port} failed: {exc}") from None
+        finally:
+            connection.close()
+
+    # ---- API --------------------------------------------------------------
+
+    def health(self) -> Response:
+        return self.request("GET", "/v1/healthz")
+
+    def stats(self) -> Dict[str, object]:
+        return self.request("GET", "/v1/stats").payload
+
+    def submit(self, body: Dict[str, object]) -> Response:
+        return self.request("POST", "/v1/jobs", body)
+
+    def job(self, job_id: str) -> Response:
+        return self.request("GET", f"/v1/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Response:
+        return self.request("POST", f"/v1/jobs/{job_id}/cancel", {})
+
+    def wait(self, job_id: str, timeout: float = 60.0,
+             poll: float = 0.05) -> Dict[str, object]:
+        """Poll until the job is done; returns its public view."""
+        deadline = time.monotonic() + timeout
+        while True:
+            response = self.job(job_id)
+            if response.status == 404:
+                raise ServeClientError(f"job {job_id!r} disappeared")
+            view = response.payload
+            if view.get("state") == "done":
+                return view
+            if time.monotonic() >= deadline:
+                raise JobTimeout(
+                    f"job {job_id!r} still {view.get('state')!r} after "
+                    f"{timeout:.1f}s")
+            time.sleep(poll)
+
+    def submit_and_wait(
+        self, body: Dict[str, object], timeout: float = 60.0,
+    ) -> Tuple[Response, Optional[Dict[str, object]]]:
+        """Submit; if it became a background job, wait it out.
+
+        Returns ``(submit_response, final_result_or_None)`` — the
+        result is ``None`` when the submission was shed or rejected.
+        """
+        response = self.submit(body)
+        if not response.ok:
+            return response, None
+        payload = response.payload
+        if "result" in payload:  # synchronous tier, answered inline
+            result = payload["result"]
+            return response, result if isinstance(result, dict) else None
+        job_id = payload.get("job_id")
+        if not isinstance(job_id, str):
+            raise ServeClientError(
+                f"submit answered without job_id: {payload}")
+        view = self.wait(job_id, timeout=timeout)
+        result = view.get("result")
+        return response, result if isinstance(result, dict) else None
+
+    def wait_healthy(self, timeout: float = 10.0) -> None:
+        """Block until the daemon answers /healthz (startup helper)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                if self.health().ok:
+                    return
+            except ServeClientError:
+                pass
+            if time.monotonic() >= deadline:
+                raise ServeClientError(
+                    f"server at {self.host}:{self.port} not healthy "
+                    f"after {timeout:.1f}s")
+            time.sleep(0.05)

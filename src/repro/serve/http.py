@@ -1,0 +1,121 @@
+"""Minimal HTTP/1.1 framing for the serve daemon — stdlib only.
+
+Just enough of the protocol for a JSON job API: request-line +
+headers + optional ``Content-Length`` body in; status + JSON body out,
+``Connection: close`` (one request per connection keeps the server
+loop trivial and is plenty for a localhost analysis service).  Hard
+limits on header and body size make hostile or confused clients a
+400, not a memory problem.
+"""
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import ServeError
+
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 2 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(ServeError):
+    """Malformed request framing; maps to a 400 response."""
+
+
+@dataclass
+class Request:
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> object:
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise HttpError(f"request body is not valid JSON: {exc}") \
+                from None
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    timeout: float = 30.0,
+) -> Optional[Request]:
+    """Parse one request; ``None`` on a cleanly closed idle connection.
+
+    Raises :class:`HttpError` on malformed framing and
+    ``asyncio.TimeoutError`` on a stalled peer (both close the
+    connection).
+    """
+    try:
+        head = await asyncio.wait_for(
+            reader.readuntil(b"\r\n\r\n"), timeout)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError("connection closed mid-request") from None
+    except asyncio.LimitOverrunError:
+        raise HttpError("request head too large") from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError("request head too large")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(f"malformed request line: {lines[0]!r}")
+    method, path = parts[0].upper(), parts[1]
+
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError("bad Content-Length") from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise HttpError("body too large (2MB limit)")
+        if length:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout)
+    elif headers.get("transfer-encoding"):
+        raise HttpError("chunked request bodies are not supported")
+
+    return Request(method=method, path=path, headers=headers, body=body)
+
+
+def json_response(status: int, payload: object) -> bytes:
+    """Serialize one ``Connection: close`` JSON response."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n"
+        f"\r\n"
+    )
+    return head.encode("latin-1") + body

@@ -1,0 +1,487 @@
+"""The ``repro serve`` daemon: asyncio front, thread-pool back.
+
+Architecture (one process, no third-party deps):
+
+- An :func:`asyncio.start_server` accept loop parses HTTP/JSON
+  requests (:mod:`repro.serve.http`) on the event-loop thread.
+- Cheap tiers (taint, valueset) are answered *inline* in the request:
+  the engine call is pushed to the worker thread pool and awaited, so
+  the loop never blocks but the client gets a single round-trip.
+- Expensive work (symx certification, simulation) becomes a
+  *background job*: 202 + job id now, poll ``GET /v1/jobs/<id>``
+  until ``state == "done"``.  Worker coroutines pull job ids off a
+  bounded queue and run the engine in a
+  :class:`~concurrent.futures.ThreadPoolExecutor` (the analyses are
+  pure CPU-bound Python; threads are enough because each call is a
+  single long-running C-level-free function we poll cooperatively).
+- Every background job is journalled (:mod:`repro.serve.jobs`); a
+  killed server restarted on the same ``--checkpoint`` path recovers
+  finished results verbatim and re-queues interrupted jobs.
+- Admission control (:mod:`repro.serve.admission`) sheds with
+  explicit 429s before overload can build; per-job failure isolation
+  lives in the engine (a poisoned job is a degraded *result*, never a
+  dead worker).
+
+Graceful shutdown: SIGTERM/SIGINT stop the accept loop, drain queued
+and running jobs within ``drain_grace`` seconds, then cancel whatever
+remains cooperatively.  :meth:`ReproServer.abort` is the crash lever
+for tests — it drops everything on the floor exactly like ``kill -9``
+(modulo the OS releasing the file lock for us).
+"""
+from __future__ import annotations
+
+import asyncio
+import signal
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..params import MachineParams, preset
+from .admission import AdmissionController
+from .cache import ResultCache
+from .engine import (
+    DEFAULT_MAX_CYCLES,
+    DEFAULT_WALL_CLOCK,
+    DEFAULT_WATCHDOG_CYCLES,
+    AnalysisEngine,
+)
+from .http import HttpError, Request, json_response, read_request
+from .jobs import JobStore, NullJobStore
+from .protocol import JobRecord, JobState, Submission, SubmissionError
+
+
+@dataclass
+class ServeConfig:
+    """Everything the daemon can be tuned with."""
+
+    host: str = "127.0.0.1"
+    port: int = 8377
+    workers: int = 4
+    #: Background-job queue bound (admission sheds beyond it).
+    queue_depth: int = 64
+    #: Per-client token bucket.
+    rate: float = 50.0
+    burst: float = 100.0
+    cache_capacity: int = 1024
+    #: JSONL journal path; ``None`` runs ephemeral (no durability).
+    checkpoint: Optional[str] = None
+    machine: str = "tiny"
+    default_wall_clock: float = DEFAULT_WALL_CLOCK
+    default_max_cycles: int = DEFAULT_MAX_CYCLES
+    default_watchdog_cycles: int = DEFAULT_WATCHDOG_CYCLES
+    #: Seconds a SIGTERM drain waits before cancelling stragglers.
+    drain_grace: float = 30.0
+
+    def machine_params(self) -> MachineParams:
+        return preset(self.machine)
+
+
+@dataclass
+class ServerStats:
+    requests: int = 0
+    sync_served: int = 0
+    jobs_created: int = 0
+    jobs_recovered: int = 0
+    coalesced: int = 0
+    cancelled: int = 0
+    errors: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "requests": self.requests,
+            "sync_served": self.sync_served,
+            "jobs_created": self.jobs_created,
+            "jobs_recovered": self.jobs_recovered,
+            "coalesced": self.coalesced,
+            "cancelled": self.cancelled,
+            "errors": self.errors,
+        }
+
+
+class ReproServer:
+    """One daemon instance.  ``await start()`` then ``await
+    serve_forever()`` (or drive :meth:`shutdown` / :meth:`abort`
+    directly from tests)."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.engine = AnalysisEngine(
+            machine=self.config.machine_params(),
+            default_wall_clock=self.config.default_wall_clock,
+            default_max_cycles=self.config.default_max_cycles,
+            default_watchdog_cycles=self.config.default_watchdog_cycles,
+        )
+        self.cache = ResultCache(self.config.cache_capacity)
+        self.admission = AdmissionController(
+            rate=self.config.rate,
+            burst=self.config.burst,
+            max_queue_depth=self.config.queue_depth,
+        )
+        self.jobstore: JobStore = (
+            JobStore(self.config.checkpoint)
+            if self.config.checkpoint else NullJobStore())
+        self.stats = ServerStats()
+        self.jobs: Dict[str, JobRecord] = {}
+        self.draining = False
+        self._aborted = False
+        self._seq = 0
+        self._queue: "asyncio.Queue[str]" = asyncio.Queue()
+        self._cancels: Dict[str, threading.Event] = {}
+        self._active = 0
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._port: Optional[int] = None
+        self._workers: List["asyncio.Task[None]"] = []
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._stopped = asyncio.Event()
+
+    # ---- lifecycle --------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` ephemeral binds);
+        stays valid after the listener closes."""
+        assert self._port is not None, "server not started"
+        return self._port
+
+    async def start(self) -> None:
+        recovered = self.jobstore.open()
+        for job in recovered:
+            self.jobs[job.job_id] = job
+            self._bump_seq(job.job_id)
+            if job.done:
+                if job.result is not None \
+                        and not job.result.get("cancelled"):
+                    self.cache.put(job.submission.cache_key(),
+                                   job.result)
+            else:
+                self._cancels[job.job_id] = threading.Event()
+                self._queue.put_nowait(job.job_id)
+            self.stats.jobs_recovered += 1
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-serve",
+        )
+        self._workers = [
+            asyncio.get_running_loop().create_task(self._worker())
+            for _ in range(self.config.workers)
+        ]
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+        self._port = int(
+            self._server.sockets[0].getsockname()[1])
+
+    def install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(
+                signum,
+                lambda: asyncio.ensure_future(self.shutdown()))
+
+    async def serve_forever(self) -> None:
+        await self._stopped.wait()
+
+    async def shutdown(self) -> None:
+        """Graceful SIGTERM drain: stop accepting, finish queued and
+        running jobs within ``drain_grace``, cancel the rest."""
+        if self.draining:
+            return
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = time.monotonic() + self.config.drain_grace
+        while (self._queue.qsize() or self._active) \
+                and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        if self._queue.qsize() or self._active:
+            # Grace expired: cooperative cancel for whatever is left.
+            for event in self._cancels.values():
+                event.set()
+            while self._queue.qsize() or self._active:
+                await asyncio.sleep(0.02)
+        await self._stop_workers()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        self.jobstore.close()
+        self._stopped.set()
+
+    async def abort(self) -> None:
+        """Crash simulation (tests): drop everything, persist nothing
+        beyond what :meth:`JobStore.record` already fsynced — the
+        closest a live object can get to ``kill -9``."""
+        self._aborted = True
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for event in self._cancels.values():
+            event.set()  # unblock engine threads promptly
+        await self._stop_workers()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+        self.jobstore.close()  # the OS would release the flock anyway
+        self._stopped.set()
+
+    async def _stop_workers(self) -> None:
+        for task in self._workers:
+            task.cancel()
+        for task in self._workers:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        self._workers = []
+
+    # ---- job machinery ----------------------------------------------------
+
+    def _bump_seq(self, job_id: str) -> None:
+        try:
+            number = int(job_id.split("-")[1])
+        except (IndexError, ValueError):
+            return
+        self._seq = max(self._seq, number)
+
+    def _new_job_id(self, key: str) -> str:
+        self._seq += 1
+        return f"job-{self._seq:06d}-{key[:8]}"
+
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            job_id = await self._queue.get()
+            job = self.jobs.get(job_id)
+            if job is None or job.done:
+                self._queue.task_done()
+                continue
+            cancel = self._cancels.setdefault(job_id, threading.Event())
+            self._active += 1
+            job.state = JobState.RUNNING
+            self.jobstore.record(job)
+            try:
+                result = await loop.run_in_executor(
+                    self._executor, self.engine.execute,
+                    job.submission, cancel)
+            except asyncio.CancelledError:
+                self._active -= 1
+                self._queue.task_done()
+                raise
+            except Exception as exc:  # noqa: BLE001 - isolation backstop
+                result = {"status": "error",
+                          "error": {"type": type(exc).__name__,
+                                    "message": str(exc)}}
+            self._active -= 1
+            if self._aborted:
+                self._queue.task_done()
+                continue
+            self._finish_job(job, result)
+            self._queue.task_done()
+
+    def _finish_job(self, job: JobRecord,
+                    result: Dict[str, object]) -> None:
+        job.result = result
+        job.state = JobState.DONE
+        job.finished_at = time.time()
+        self.jobstore.record(job)
+        key = job.submission.cache_key()
+        if result.get("cancelled") or result.get("status") == "error":
+            # Cancelled runs answer *this* job but must not satisfy
+            # future full-budget submissions; errors likewise.
+            self.cache.abandon(key, job.job_id)
+        else:
+            self.cache.fulfil(key, job.job_id, result)
+        self._cancels.pop(job.job_id, None)
+
+    # ---- HTTP plumbing ----------------------------------------------------
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            try:
+                request = await read_request(reader)
+            except HttpError as exc:
+                writer.write(json_response(400, {"error": str(exc)}))
+                return
+            except asyncio.TimeoutError:
+                return
+            if request is None:
+                return
+            status, payload = await self._route(request)
+            writer.write(json_response(status, payload))
+        except Exception as exc:  # noqa: BLE001 - connection backstop
+            self.stats.errors += 1
+            try:
+                writer.write(json_response(
+                    500, {"error": f"{type(exc).__name__}: {exc}"}))
+            except Exception:  # noqa: BLE001
+                pass
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.TimeoutError):
+                pass
+
+    async def _route(
+        self, request: Request,
+    ) -> Tuple[int, Dict[str, object]]:
+        self.stats.requests += 1
+        parts = [p for p in request.path.split("?")[0].split("/") if p]
+        if parts[:1] != ["v1"]:
+            return 404, {"error": f"unknown path {request.path!r}"}
+        tail = parts[1:]
+        if tail == ["healthz"] and request.method == "GET":
+            return 200, {"ok": True, "draining": self.draining}
+        if tail == ["stats"] and request.method == "GET":
+            return 200, self._stats_payload()
+        if tail == ["jobs"]:
+            if request.method == "POST":
+                return await self._submit(request)
+            if request.method == "GET":
+                return 200, {"jobs": [
+                    {"job_id": j.job_id, "state": j.state.value}
+                    for j in self.jobs.values()]}
+            return 405, {"error": "use GET or POST"}
+        if len(tail) == 2 and tail[0] == "jobs" \
+                and request.method == "GET":
+            return self._get_job(tail[1])
+        if len(tail) == 3 and tail[0] == "jobs" \
+                and tail[2] == "cancel" and request.method == "POST":
+            return self._cancel_job(tail[1])
+        return 404, {"error": f"unknown path {request.path!r}"}
+
+    def _stats_payload(self) -> Dict[str, object]:
+        by_state: Dict[str, int] = {}
+        for job in self.jobs.values():
+            by_state[job.state.value] = by_state.get(
+                job.state.value, 0) + 1
+        return {
+            "server": self.stats.to_dict(),
+            "cache": self.cache.stats.to_dict(),
+            "admission": self.admission.stats.to_dict(),
+            "jobs": by_state,
+            "queue_depth": self._queue.qsize(),
+            "active": self._active,
+            "draining": self.draining,
+        }
+
+    # ---- routes -----------------------------------------------------------
+
+    async def _submit(
+        self, request: Request,
+    ) -> Tuple[int, Dict[str, object]]:
+        if self.draining:
+            return 503, {"error": "draining", "reason": "draining"}
+        try:
+            submission = Submission.from_request(request.json())
+        except (SubmissionError, HttpError) as exc:
+            return 400, {"error": str(exc)}
+
+        queue_depth = self._queue.qsize()
+        reason = self.admission.admit(
+            submission.client,
+            queue_depth if not submission.synchronous else 0)
+        if reason is not None:
+            return 429, {"error": "request shed", "reason": reason}
+
+        if submission.synchronous:
+            return await self._serve_sync(submission)
+        return self._enqueue(submission)
+
+    async def _serve_sync(
+        self, submission: Submission,
+    ) -> Tuple[int, Dict[str, object]]:
+        key = submission.cache_key()
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.stats.sync_served += 1
+            return 200, {"cached": True, "result": cached}
+        loop = asyncio.get_running_loop()
+        result = await loop.run_in_executor(
+            self._executor, self.engine.execute, submission, None)
+        if result.get("status") != "error":
+            self.cache.put(key, result)
+        self.stats.sync_served += 1
+        return 200, {"cached": False, "result": result}
+
+    def _enqueue(
+        self, submission: Submission,
+    ) -> Tuple[int, Dict[str, object]]:
+        key = submission.cache_key()
+        job_id = self._new_job_id(key)
+        claim = self.cache.claim(key, job_id)
+        if claim.result is not None:
+            # Duplicate of a finished job: answer instantly with a
+            # pre-completed job (uniform client polling either way).
+            job = JobRecord(
+                job_id=job_id, submission=submission,
+                state=JobState.DONE, result=claim.result,
+                submitted_at=time.time(), finished_at=time.time())
+            self.jobs[job_id] = job
+            self.jobstore.record(job)
+            return 202, {"job_id": job_id, "state": "done",
+                         "cached": True}
+        if claim.leader is not None:
+            # Same key already computing: attach to that job.
+            self._seq -= 1  # id unused
+            self.stats.coalesced += 1
+            leader = self.jobs[claim.leader]
+            return 202, {"job_id": claim.leader,
+                         "state": leader.state.value,
+                         "coalesced": True}
+        job = JobRecord(job_id=job_id, submission=submission,
+                        submitted_at=time.time())
+        self.jobs[job_id] = job
+        self._cancels[job_id] = threading.Event()
+        self.jobstore.record(job)
+        self._queue.put_nowait(job_id)
+        self.stats.jobs_created += 1
+        return 202, {"job_id": job_id, "state": "queued",
+                     "cached": False}
+
+    def _get_job(self, job_id: str) -> Tuple[int, Dict[str, object]]:
+        job = self.jobs.get(job_id)
+        if job is None:
+            return 404, {"error": f"unknown job {job_id!r}"}
+        return 200, job.public_view()
+
+    def _cancel_job(self, job_id: str) -> Tuple[int, Dict[str, object]]:
+        job = self.jobs.get(job_id)
+        if job is None:
+            return 404, {"error": f"unknown job {job_id!r}"}
+        if job.done:
+            return 409, {"error": "job already finished",
+                         "state": job.state.value}
+        event = self._cancels.setdefault(job_id, threading.Event())
+        event.set()
+        self.stats.cancelled += 1
+        if job.state is JobState.QUEUED:
+            # Never reached a worker: finish it here, uncached.
+            self._finish_job(job, {
+                "status": "ok", "cancelled": True,
+                "kind": job.submission.kind.value,
+                "tier_requested": job.submission.tier.value,
+                "degraded": True,
+                "warnings": [{"kind": "cancelled",
+                              "detail": "cancelled while queued"}],
+            })
+        return 200, job.public_view()
+
+
+async def run_server(config: Optional[ServeConfig] = None) -> None:
+    """Entry point used by ``repro serve``: run until SIGTERM/SIGINT."""
+    server = ReproServer(config)
+    await server.start()
+    server.install_signal_handlers()
+    print(f"repro serve: listening on "
+          f"http://{server.config.host}:{server.port} "
+          f"(workers={server.config.workers}, "
+          f"checkpoint={server.config.checkpoint or 'none'})",
+          flush=True)
+    await server.serve_forever()
+    print("repro serve: drained, bye", flush=True)

@@ -50,7 +50,8 @@ class TestCheckpointStore:
         store.append("a/origin", {"status": "ok"})
         with open(path, "a") as handle:
             handle.write('{"kind": "row", "key": "b/orig')  # crash here
-        _header, rows = store.load()
+        with pytest.warns(RuntimeWarning, match="torn trailing line"):
+            _header, rows = store.load()
         assert list(rows) == ["a/origin"]
 
     def test_foreign_file_raises(self, tmp_path):
@@ -60,6 +61,105 @@ class TestCheckpointStore:
                                      "format": "something-else"}) + "\n")
         with pytest.raises(CheckpointError):
             CheckpointStore(str(path)).load()
+
+
+class TestTornTailHardening:
+    """A crash mid-append leaves an unterminated fragment as the last
+    line.  Loads tolerate it with a warning; the next append repairs
+    the file instead of gluing new bytes onto the fragment."""
+
+    def _store_with_torn_tail(self, tmp_path, fragment):
+        path = tmp_path / "ck.jsonl"
+        store = CheckpointStore(str(path))
+        store.reset()
+        store.append("a/origin", {"status": "ok"})
+        with open(path, "a") as handle:
+            handle.write(fragment)  # crash: no trailing newline
+        return store, path
+
+    def test_load_warns_but_tolerates(self, tmp_path):
+        store, _path = self._store_with_torn_tail(
+            tmp_path, '{"kind": "row", "key": "b/ori')
+        with pytest.warns(RuntimeWarning, match="torn trailing line"):
+            _header, rows = store.load()
+        assert list(rows) == ["a/origin"]
+
+    def test_append_truncates_fragment_first(self, tmp_path):
+        store, path = self._store_with_torn_tail(
+            tmp_path, '{"kind": "row", "key": "b/ori')
+        with pytest.warns(RuntimeWarning, match="truncating torn"):
+            store.append("c/origin", {"status": "ok"})
+        store.release_writer()
+        # Every remaining line is valid JSON again.
+        with open(path) as handle:
+            records = [json.loads(line) for line in handle]
+        keys = [r.get("key") for r in records if r.get("kind") == "row"]
+        assert keys == ["a/origin", "c/origin"]
+        _header, rows = store.load()
+        assert set(rows) == {"a/origin", "c/origin"}
+
+    def test_complete_line_missing_only_newline_is_kept(self, tmp_path):
+        # The fsync landed the bytes but died before anything else:
+        # the record is whole, only its terminator is missing.  It
+        # must be repaired, not thrown away.
+        record = json.dumps({"kind": "row", "key": "b/origin",
+                             "status": "ok"})
+        store, _path = self._store_with_torn_tail(tmp_path, record)
+        store.append("c/origin", {"status": "ok"})
+        store.release_writer()
+        _header, rows = store.load()
+        assert set(rows) == {"a/origin", "b/origin", "c/origin"}
+
+    def test_unreadable_middle_line_is_skipped_with_warning(
+            self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        store = CheckpointStore(str(path))
+        store.reset()
+        store.append("a/origin", {"status": "ok"})
+        with open(path, "a") as handle:
+            handle.write("%% corrupted line %%\n")
+        store.append("b/origin", {"status": "ok"})
+        store.release_writer()
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            _header, rows = store.load()
+        assert set(rows) == {"a/origin", "b/origin"}
+
+
+class TestBackoffJitter:
+    """Retry backoff carries seeded, deterministic jitter so parallel
+    sweeps do not retry in lockstep."""
+
+    def test_deterministic_per_key(self):
+        from repro.experiments.runner import backoff_delay
+
+        assert backoff_delay(1.0, 1, "mcf/origin") == \
+            backoff_delay(1.0, 1, "mcf/origin")
+
+    def test_jitter_stays_inside_the_half_band(self):
+        from repro.experiments.runner import backoff_delay
+
+        for attempt in (1, 2, 3):
+            base = 0.5 * (2 ** (attempt - 1))
+            for key in ("a/origin", "b/baseline", "c/cache_hit"):
+                delay = backoff_delay(0.5, attempt, key)
+                assert base * 0.5 <= delay < base * 1.5
+
+    def test_distinct_keys_spread_apart(self):
+        from repro.experiments.runner import backoff_delay
+
+        keys = [f"bench{i}/origin" for i in range(16)]
+        delays = {round(backoff_delay(1.0, 1, key), 6) for key in keys}
+        # A storm of 16 simultaneous retries lands on (nearly) 16
+        # distinct instants, not one.
+        assert len(delays) >= 12
+
+    def test_exponential_growth_preserved(self):
+        from repro.experiments.runner import backoff_delay
+
+        # Worst-case jitter cannot undo the doubling: the fastest
+        # attempt-3 retry is still slower than the slowest attempt-1.
+        assert backoff_delay(1.0, 3, "k") >= 4 * 0.5
+        assert backoff_delay(1.0, 1, "k") < 1.5
 
 
 class TestSweepEngine:

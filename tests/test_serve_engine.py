@@ -1,0 +1,172 @@
+"""The tiered degradation engine: every job gets an answer, tagged
+with the tier that produced it and whether it is degraded."""
+import threading
+
+import pytest
+
+from repro.serve.engine import AnalysisEngine, strip_timing
+from repro.serve.protocol import Submission
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return AnalysisEngine()
+
+
+def submit(body):
+    return Submission.from_request(body)
+
+
+class TestAnalyzeLadder:
+    def test_taint_tier(self, engine):
+        result = engine.execute(
+            submit({"spec": "corpus:v1", "tier": "taint"}))
+        assert result["status"] == "ok"
+        assert result["tier_answered"] == "taint"
+        assert result["degraded"] is False
+        assert result["taint"]["findings"]
+
+    def test_valueset_tier_includes_taint(self, engine):
+        result = engine.execute(
+            submit({"spec": "corpus:v1", "tier": "valueset"}))
+        assert result["tier_answered"] == "valueset"
+        assert "taint" in result and "valueset" in result
+
+    def test_symx_tier_full_budget(self, engine):
+        result = engine.execute(
+            submit({"spec": "corpus:v1", "tier": "symx"}))
+        assert result["tier_answered"] == "symx"
+        assert result["degraded"] is False
+        assert result["symx"]["verdict"] == "LEAKY"
+
+    def test_fenced_variant_proves_safe(self, engine):
+        result = engine.execute(
+            submit({"spec": "corpus:v1:fenced", "tier": "symx"}))
+        assert result["symx"]["verdict"] == "PROVED_SAFE"
+
+
+class TestDegradation:
+    def test_exhausted_budget_degrades_to_valueset(self, engine):
+        result = engine.execute(submit({
+            "spec": "corpus:v1", "tier": "symx",
+            "budgets": {"wall_clock": 0.0005}}))
+        assert result["status"] == "ok"
+        assert result["degraded"] is True
+        assert result["tier_answered"] == "valueset"
+        assert result["symx"]["verdict"] == "UNKNOWN"
+        assert result["symx"]["truncated"] is True
+        # Structured provenance: what degraded, from where, and why.
+        warning = result["warnings"][0]
+        assert warning["kind"] == "degraded"
+        assert warning["from_tier"] == "symx"
+        assert warning["to_tier"] == "valueset"
+        assert "wall_clock" in warning["cause"]
+        # The degraded answer still carries the cheaper tiers.
+        assert "valueset" in result and "taint" in result
+
+    def test_cancelled_job_reports_cancelled(self, engine):
+        cancel = threading.Event()
+        cancel.set()
+        result = engine.execute(
+            submit({"spec": "corpus:v1", "tier": "symx"}), cancel)
+        assert result["status"] == "ok"
+        assert result["degraded"] is True
+        assert result["cancelled"] is True
+        assert result["symx"]["verdict"] == "UNKNOWN"
+
+    def test_generous_budget_does_not_degrade(self, engine):
+        result = engine.execute(submit({
+            "spec": "corpus:v1", "tier": "symx",
+            "budgets": {"wall_clock": 120.0}}))
+        assert result["degraded"] is False
+        assert result["tier_answered"] == "symx"
+
+
+class TestSimulate:
+    def test_clean_run(self, engine):
+        result = engine.execute(
+            submit({"spec": "corpus:v1", "kind": "simulate",
+                    "mode": "cache_hit_tpbuf"}))
+        assert result["status"] == "ok"
+        assert result["degraded"] is False
+        assert result["report"]["termination"] == "halt"
+
+    def test_cycle_budget_tags_degraded(self, engine):
+        result = engine.execute(
+            submit({"asm": "loop:\naddi r1, r1, 1\njmp loop",
+                    "kind": "simulate",
+                    "budgets": {"max_cycles": 2000,
+                                "watchdog_cycles": 100000}}))
+        assert result["status"] == "ok"
+        assert result["degraded"] is True
+        assert result["report"]["termination"] == "cycle_budget"
+        assert result["warnings"][0]["kind"] == "cycle_budget"
+
+    def test_poisoned_deadlock_is_a_degraded_result(self, engine):
+        result = engine.execute(
+            submit({"spec": "corpus:v1", "kind": "simulate",
+                    "fault": {"fill_delay_rate": 1.0,
+                              "fill_delay_max": 1_000_000_000},
+                    "budgets": {"watchdog_cycles": 2000}}))
+        assert result["status"] == "ok"
+        assert result["degraded"] is True
+        assert result["warnings"][0]["kind"] == "deadlock"
+        assert result["report"]["termination"] == "deadlock"
+
+    def test_cancelled_simulation(self, engine):
+        cancel = threading.Event()
+        cancel.set()
+        result = engine.execute(
+            submit({"asm": "loop:\naddi r1, r1, 1\njmp loop",
+                    "kind": "simulate",
+                    "budgets": {"max_cycles": 50_000_000,
+                                "watchdog_cycles": 40_000_000}}),
+            cancel)
+        assert result["status"] == "ok"
+        assert result["cancelled"] is True
+        assert result["report"]["termination"] == "cancelled"
+
+
+class TestIsolation:
+    def test_engine_failure_becomes_error_result(self, engine,
+                                                 monkeypatch):
+        import repro.serve.engine as engine_module
+
+        def boom(*_args, **_kwargs):
+            raise RuntimeError("engine exploded")
+
+        monkeypatch.setattr(engine_module, "analyze_program", boom)
+        result = engine.execute(
+            submit({"asm": "halt", "tier": "taint"}))
+        assert result["status"] == "error"
+        assert result["error"]["type"] == "RuntimeError"
+        assert "traceback" in result["error"]
+
+    def test_expected_failures_have_no_traceback(self, engine,
+                                                 monkeypatch):
+        import repro.serve.engine as engine_module
+        from repro.errors import SimulationError
+
+        def boom(*_args, **_kwargs):
+            raise SimulationError("known failure mode")
+
+        monkeypatch.setattr(engine_module, "analyze_program", boom)
+        result = engine.execute(
+            submit({"asm": "halt", "tier": "taint"}))
+        assert result["status"] == "error"
+        assert "traceback" not in result["error"]
+
+
+class TestStripTiming:
+    def test_strips_wall_clock_facts(self, engine):
+        result = engine.execute(
+            submit({"spec": "corpus:v1", "tier": "taint"}))
+        assert "timing" in result
+        stripped = strip_timing(result)
+        assert "timing" not in stripped
+
+    def test_identical_jobs_identical_modulo_timing(self, engine):
+        body = {"spec": "corpus:v2", "tier": "symx"}
+        first = engine.execute(submit(body))
+        second = engine.execute(submit(body))
+        assert strip_timing(first) == strip_timing(second)

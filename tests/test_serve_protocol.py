@@ -1,0 +1,152 @@
+"""Submission canonicalization, budgets and the content-addressed key."""
+import pytest
+
+from repro.serve.protocol import (
+    Budgets,
+    JobKind,
+    JobRecord,
+    JobState,
+    Submission,
+    SubmissionError,
+    Tier,
+)
+
+
+class TestSubmissionValidation:
+    def test_inline_asm(self):
+        sub = Submission.from_request({"asm": "li r1, 4\nhalt"})
+        assert sub.kind is JobKind.ANALYZE
+        assert sub.tier is Tier.SYMX
+        assert sub.program().instructions
+
+    def test_rejects_non_object_body(self):
+        with pytest.raises(SubmissionError):
+            Submission.from_request([1, 2, 3])
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(SubmissionError, match="unknown field"):
+            Submission.from_request({"asm": "halt", "tierr": "taint"})
+
+    def test_rejects_bad_tier_and_mode(self):
+        with pytest.raises(SubmissionError, match="unknown tier"):
+            Submission.from_request({"asm": "halt", "tier": "mega"})
+        with pytest.raises(SubmissionError, match="unknown mode"):
+            Submission.from_request({"asm": "halt", "mode": "nope"})
+
+    def test_rejects_assembly_errors(self):
+        with pytest.raises(SubmissionError, match="assembly failed"):
+            Submission.from_request({"asm": "frobnicate r1"})
+
+    def test_requires_exactly_one_program_source(self):
+        with pytest.raises(SubmissionError, match="exactly one"):
+            Submission.from_request({})
+        with pytest.raises(SubmissionError, match="exactly one"):
+            Submission.from_request(
+                {"asm": "halt", "spec": "corpus:v1"})
+
+    def test_corpus_spec_brings_default_secrets(self):
+        sub = Submission.from_request({"spec": "corpus:v1"})
+        assert sub.secret_words
+        assert sub.name == "corpus:v1"
+
+    def test_bad_corpus_spec(self):
+        with pytest.raises(SubmissionError, match="bad corpus spec"):
+            Submission.from_request({"spec": "corpus:v9"})
+
+    def test_fault_only_for_simulate(self):
+        with pytest.raises(SubmissionError, match="simulate"):
+            Submission.from_request(
+                {"asm": "halt", "fault": {"seed": 1}})
+        sub = Submission.from_request(
+            {"asm": "halt", "kind": "simulate", "fault": {"seed": 1}})
+        assert sub.fault_plan() is not None
+
+    def test_unknown_fault_field(self):
+        with pytest.raises(SubmissionError, match="unknown fault"):
+            Submission.from_request(
+                {"asm": "halt", "kind": "simulate",
+                 "fault": {"chaos": 1.0}})
+
+    def test_sync_tiers(self):
+        assert Submission.from_request(
+            {"asm": "halt", "tier": "taint"}).synchronous
+        assert Submission.from_request(
+            {"asm": "halt", "tier": "valueset"}).synchronous
+        assert not Submission.from_request(
+            {"asm": "halt", "tier": "symx"}).synchronous
+        assert not Submission.from_request(
+            {"asm": "halt", "kind": "simulate"}).synchronous
+
+
+class TestBudgetsValidation:
+    def test_rejects_non_positive(self):
+        with pytest.raises(SubmissionError):
+            Budgets(wall_clock=0.0)
+        with pytest.raises(SubmissionError):
+            Budgets(max_steps=-1)
+
+    def test_rejects_unknown_and_bad_types(self):
+        with pytest.raises(SubmissionError, match="unknown budget"):
+            Budgets.from_dict({"walls": 1})
+        with pytest.raises(SubmissionError, match="integer"):
+            Budgets.from_dict({"max_steps": 1.5})
+        with pytest.raises(SubmissionError, match="number"):
+            Budgets.from_dict({"wall_clock": "fast"})
+
+    def test_round_trip(self):
+        budgets = Budgets.from_dict({"wall_clock": 2.5, "max_paths": 9})
+        assert Budgets.from_dict(budgets.to_dict()) == budgets
+
+
+class TestCacheKey:
+    def test_spelling_variants_alias(self):
+        a = Submission.from_request(
+            {"asm": "li r1, 4\nhalt", "tier": "taint"})
+        b = Submission.from_request(
+            {"asm": "  li r1, 4 ; hi\n  halt\n", "tier": "taint"})
+        assert a.cache_key() == b.cache_key()
+
+    def test_tier_mode_budgets_and_fault_split_the_key(self):
+        base = {"asm": "li r1, 4\nhalt"}
+        key = Submission.from_request(base).cache_key()
+        assert Submission.from_request(
+            {**base, "tier": "taint"}).cache_key() != key
+        assert Submission.from_request(
+            {**base, "mode": "cache_hit"}).cache_key() != key
+        assert Submission.from_request(
+            {**base, "budgets": {"wall_clock": 1.0}}).cache_key() != key
+        simulate = {**base, "kind": "simulate"}
+        assert Submission.from_request({
+            **simulate, "fault": {"seed": 3},
+        }).cache_key() != Submission.from_request(simulate).cache_key()
+
+    def test_client_identity_is_not_in_the_key(self):
+        base = {"asm": "halt", "tier": "taint"}
+        assert Submission.from_request(
+            {**base, "client": "a"}).cache_key() == \
+            Submission.from_request({**base, "client": "b"}).cache_key()
+
+
+class TestJobRecord:
+    def test_round_trip_preserves_identity(self):
+        sub = Submission.from_request(
+            {"spec": "corpus:v2", "kind": "simulate",
+             "fault": {"fill_delay_rate": 0.5},
+             "budgets": {"watchdog_cycles": 2000}})
+        job = JobRecord(job_id="job-1", submission=sub,
+                        state=JobState.DONE,
+                        result={"status": "ok"}, submitted_at=1.0)
+        back = JobRecord.from_record(job.to_record())
+        assert back.submission.cache_key() == sub.cache_key()
+        assert back.state is JobState.DONE
+        assert back.result == {"status": "ok"}
+        assert back.recovered
+
+    def test_running_jobs_recover_as_queued(self):
+        # The JobStore applies this; the record itself keeps RUNNING.
+        sub = Submission.from_request({"asm": "halt"})
+        job = JobRecord(job_id="job-2", submission=sub,
+                        state=JobState.RUNNING)
+        back = JobRecord.from_record(job.to_record())
+        assert back.state is JobState.RUNNING
+        assert not back.done

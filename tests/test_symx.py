@@ -219,6 +219,66 @@ class TestBudgets:
         assert result.verdict is Verdict.PROVED_SAFE
 
 
+class TestWallClockBudget:
+    """The serve-tier budgets: wall clock and cooperative cancel both
+    degrade to UNKNOWN with a structured warning — never a hang."""
+
+    def test_exhausted_wall_clock_degrades_to_unknown(self):
+        result = certify(
+            "v1", "unsafe", replay=False, wall_clock_budget=1e-9)
+        assert result.verdict is Verdict.UNKNOWN
+        assert result.truncated
+        warning = next(w for w in result.warnings
+                       if w["kind"] == "wall_clock")
+        assert "degrades to UNKNOWN" in warning["detail"]
+
+    def test_cancel_check_degrades_to_unknown(self):
+        result = certify("v1", "unsafe", replay=False,
+                         cancel_check=lambda: True)
+        assert result.verdict is Verdict.UNKNOWN
+        kinds = {w["kind"] for w in result.warnings}
+        assert "cancelled" in kinds
+
+    def test_budgets_arrive_via_run_options(self):
+        from repro.params import RunOptions
+        result = certify(
+            "v1", "unsafe", replay=False,
+            options=RunOptions(wall_clock_budget=1e-9))
+        assert result.verdict is Verdict.UNKNOWN
+        kinds = {w["kind"] for w in result.warnings}
+        assert "wall_clock" in kinds
+
+    def test_explicit_keyword_wins_over_options(self):
+        from repro.params import RunOptions
+        # A generous explicit budget overrides the starved options
+        # bundle: the certification completes normally.
+        result = certify(
+            "v1", "unsafe", replay=False, wall_clock_budget=300.0,
+            options=RunOptions(wall_clock_budget=1e-9))
+        assert result.verdict is Verdict.LEAKY
+
+    def test_generous_wall_clock_does_not_change_the_verdict(self):
+        tight_free = certify("v2", "unsafe", replay=False)
+        budgeted = certify("v2", "unsafe", replay=False,
+                           wall_clock_budget=300.0)
+        assert budgeted.verdict is tight_free.verdict
+        assert not budgeted.truncated
+
+    def test_late_cancel_never_hangs(self):
+        # Cancel fires partway through: whatever was resolved stays
+        # resolved, everything else degrades — and the call returns.
+        calls = []
+
+        def cancel_after_a_few():
+            calls.append(None)
+            return len(calls) > 2
+
+        result = certify("v2", "unsafe", replay=False,
+                         cancel_check=cancel_after_a_few)
+        assert result.verdict in (Verdict.UNKNOWN, Verdict.LEAKY)
+        assert calls  # the hook was actually polled
+
+
 # ---------------------------------------------------------------------------
 # Witness replay determinism (mirrors test_parallel_sweep discipline)
 # ---------------------------------------------------------------------------

@@ -96,3 +96,58 @@ class TestCycleBudget:
     def test_budget_error_is_not_deadlock(self):
         assert not issubclass(CycleBudgetExceeded, DeadlockError)
         assert not issubclass(DeadlockError, CycleBudgetExceeded)
+
+
+class TestCooperativeCancellation:
+    """The ``repro serve`` cancel path: a hook polled at the wall-clock
+    cadence ends the run with ``termination="cancelled"``."""
+
+    def _cancelling_cpu(self, fire_after_polls=1):
+        from repro.params import RunOptions
+
+        polls = []
+
+        def cancel_check():
+            polls.append(None)
+            return len(polls) >= fire_after_polls
+
+        cpu = Processor(_counting_program(), machine=tiny_config(),
+                        security=SecurityConfig.origin(),
+                        options=RunOptions(cancel_check=cancel_check))
+        return cpu, polls
+
+    def test_cancel_terminates_with_partial_report(self):
+        cpu, polls = self._cancelling_cpu()
+        report = cpu.run(max_cycles=50_000_000)
+        assert not report.halted
+        assert report.termination == "cancelled"
+        assert report.committed > 0  # made progress before the cancel
+        assert polls  # the hook really was polled
+
+    def test_cancel_raises_when_asked(self):
+        from repro.errors import RunCancelled
+
+        cpu, _polls = self._cancelling_cpu()
+        with pytest.raises(RunCancelled) as excinfo:
+            cpu.run(max_cycles=50_000_000, raise_on_budget=True)
+        report = excinfo.value.report
+        assert report is not None
+        assert report.termination == "cancelled"
+
+    def test_uncancelled_run_is_unaffected(self):
+        from repro.params import RunOptions
+
+        b = ProgramBuilder()
+        b.li(1, 7).addi(1, 1, 1).halt()
+        cpu = Processor(b.build(), machine=tiny_config(),
+                        security=SecurityConfig.origin(),
+                        options=RunOptions(cancel_check=lambda: False))
+        report = cpu.run(max_cycles=200_000)
+        assert report.halted
+        assert report.termination == "halt"
+
+    def test_cancelled_is_not_a_deadlock_or_budget(self):
+        from repro.errors import RunCancelled
+
+        assert not issubclass(RunCancelled, DeadlockError)
+        assert not issubclass(RunCancelled, CycleBudgetExceeded)

@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""CI smoke test for the ``repro serve`` daemon — the real thing.
+
+Unlike ``tools/load_test.py`` (in-process server, statistical load),
+this drives the daemon exactly the way an operator does: spawn
+``python -m repro.cli serve`` as a subprocess, speak HTTP to it, then
+SIGTERM it and require a clean drain.  Asserts, end to end:
+
+1.  health check answers;
+2.  a sync taint scan answers correctly (the v1 gadget is flagged,
+    its fenced variant is clean);
+3.  a symx certification job completes with the right verdict;
+4.  a duplicate submission pair is cache-served (second one instant);
+5.  an impossible budget degrades (tagged, UNKNOWN, never hangs);
+6.  a poisoned program (never-filling fault plan) comes back as a
+    degraded deadlock result and the worker pool stays healthy;
+7.  a hot client is shed with explicit 429s;
+8.  jobs survive the daemon: the journal holds every background job;
+9.  SIGTERM drains within the grace window, exit code 0.
+
+Exits non-zero on the first violated assertion.  Budget: well under
+two minutes.
+"""
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.serve import ServeClient  # noqa: E402
+from repro.serve.jobs import JobStore  # noqa: E402
+
+PORT = int(os.environ.get("SERVE_SMOKE_PORT", "18431"))
+
+FAILURES = []
+
+
+def check(condition, label):
+    marker = "ok" if condition else "FAIL"
+    print(f"  [{marker}] {label}")
+    if not condition:
+        FAILURES.append(label)
+
+
+def main():
+    started = time.monotonic()
+    journal = os.path.join(tempfile.mkdtemp(prefix="repro-serve-"),
+                           "jobs.jsonl")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(
+        os.path.dirname(__file__), "..", "src")
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--port", str(PORT), "--workers", "2",
+         "--rate", "30", "--burst", "20",
+         "--checkpoint", journal, "--drain-grace", "60"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+    try:
+        client = ServeClient(port=PORT, timeout=30.0)
+        client.wait_healthy(15.0)
+        check(True, "daemon healthy")
+
+        # 2. Sync tier correctness.
+        _, unsafe = client.submit_and_wait(
+            {"spec": "corpus:v1", "tier": "taint", "client": "smoke"})
+        _, fenced = client.submit_and_wait(
+            {"spec": "corpus:v1:fenced", "tier": "taint",
+             "client": "smoke"})
+        check(unsafe and unsafe["status"] == "ok"
+              and unsafe["taint"]["findings"], "v1 gadget flagged")
+        check(fenced and fenced["status"] == "ok"
+              and not fenced["taint"]["findings"],
+              "fenced v1 clean")
+
+        # 3 + 4. Background certification and the duplicate pair.
+        body = {"spec": "corpus:v1", "tier": "symx", "client": "smoke"}
+        first = client.submit(body)
+        job_id = first.payload["job_id"]
+        view = client.wait(job_id, timeout=60.0)
+        result = view["result"]
+        check(result["symx"]["verdict"] == "LEAKY"
+              and not result["degraded"], "symx verdict LEAKY")
+        dup = client.submit(body)
+        check(dup.payload.get("cached") is True
+              and dup.payload.get("state") == "done",
+              "duplicate submission cache-served")
+
+        # 5. Impossible budget -> tagged degradation, instantly.
+        _, tight = client.submit_and_wait(
+            {"spec": "corpus:v2", "tier": "symx",
+             "budgets": {"wall_clock": 0.0005}, "client": "smoke"},
+            timeout=60.0)
+        check(tight and tight["degraded"]
+              and tight["tier_answered"] == "valueset"
+              and tight["symx"]["verdict"] == "UNKNOWN",
+              "tight budget degrades to valueset")
+
+        # 6. Poisoned program: degraded deadlock, pool survives.
+        _, poisoned = client.submit_and_wait(
+            {"spec": "corpus:v1", "kind": "simulate",
+             "fault": {"fill_delay_rate": 1.0,
+                       "fill_delay_max": 1_000_000_000},
+             "budgets": {"watchdog_cycles": 2_000},
+             "client": "smoke"}, timeout=60.0)
+        check(poisoned and poisoned["degraded"]
+              and poisoned["warnings"][0]["kind"] == "deadlock",
+              "poisoned job degrades to deadlock report")
+        check(client.health().ok, "pool healthy after poison")
+        _, after = client.submit_and_wait(
+            {"spec": "corpus:v2", "tier": "taint", "client": "smoke"})
+        check(after is not None and after["status"] == "ok",
+              "work still served after poison")
+
+        # 7. Hot client shed with explicit 429s.
+        shed = 0
+        for _ in range(60):
+            response = client.submit(
+                {"spec": "corpus:v1", "tier": "taint",
+                 "client": "hot"})
+            if response.shed:
+                shed += 1
+                reason = response.payload.get("reason")
+                check(reason in ("rate_limited", "queue_full"),
+                      f"shed reason explicit ({reason})")
+                break
+        check(shed > 0, "hot client rate-limited")
+
+        # 8. The journal holds the background jobs durably.
+        _, jobs = JobStore(journal).snapshot()
+        check(any(j.submission.tier.value == "symx"
+                  for j in jobs.values()),
+              "journal records background jobs")
+
+        stats = client.stats()
+        check(stats["server"]["errors"] == 0, "zero unhandled errors")
+
+        # 9. Clean SIGTERM drain.
+        daemon.send_signal(signal.SIGTERM)
+        try:
+            daemon.wait(timeout=90)
+        except subprocess.TimeoutExpired:
+            check(False, "drained within grace")
+        else:
+            check(daemon.returncode == 0, "drain exit code 0")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+        output = daemon.stdout.read() if daemon.stdout else ""
+        if output:
+            print("--- daemon output ---")
+            print(output.rstrip())
+
+    elapsed = time.monotonic() - started
+    print(f"serve smoke: {elapsed:.1f}s, "
+          f"{len(FAILURES)} failure(s)")
+    check(elapsed < 120, "finished under two minutes")
+    if FAILURES:
+        for failure in FAILURES:
+            print(f"FAILED: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
