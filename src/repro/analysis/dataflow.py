@@ -26,7 +26,7 @@ lattice to stabilize in finitely many steps.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Generic, List, Mapping, Optional, TypeVar
+from typing import Callable, Dict, Generic, List, Mapping, Optional, TypeVar
 
 from ..isa.instructions import Instruction
 from .cfg import BasicBlock, ControlFlowGraph
@@ -80,13 +80,23 @@ class ForwardDataflow(Generic[S]):
 
     def __init__(self, cfg: ControlFlowGraph, lattice: Lattice[S],
                  indirect_to_all: bool = True,
-                 widen_after: int = 8) -> None:
+                 widen_after: int = 8,
+                 refine_entry: Optional[Callable[[int, S], S]] = None,
+                 ) -> None:
         self.cfg = cfg
         self.lattice = lattice
         self.indirect_to_all = indirect_to_all
         #: Number of in-state growths a block tolerates before joins
         #: switch to the lattice's widening operator.
         self.widen_after = widen_after
+        #: Optional entry-state refinement ``(block_index, state) ->
+        #: state``: a *meet* with externally proven invariants (e.g.
+        #: accelerated induction-variable caps).  Applied to seeds and
+        #: to every joined/widened entry state, so a widening that
+        #: over-shoots to TOP is clamped back to the invariant instead
+        #: of poisoning the fixpoint.  Must be monotone and idempotent
+        #: or termination is forfeit.
+        self.refine_entry = refine_entry
 
     def _join_opt(self, a: Optional[S], b: Optional[S]) -> Optional[S]:
         if a is None:
@@ -109,9 +119,14 @@ class ForwardDataflow(Generic[S]):
         out-state reaches them.
         """
         lattice = self.lattice
+        refine = self.refine_entry
         block_in: Dict[int, Optional[S]] = {
             block.index: seeds.get(block.index) for block in self.cfg
         }
+        if refine is not None:
+            for index, state in block_in.items():
+                if state is not None:
+                    block_in[index] = refine(index, state)
         # Every block enters the worklist once so seeded-but-unreachable
         # blocks (e.g. gadget bodies placed after HALT) are processed.
         worklist: List[int] = [block.index for block in self.cfg]
@@ -136,10 +151,54 @@ class ForwardDataflow(Generic[S]):
                             and current is not None
                             and merged is not None):
                         merged = lattice.widen(current, merged)
+                    if refine is not None and merged is not None:
+                        merged = refine(succ.index, merged)
+                        if self._eq_opt(merged, current):
+                            continue
                     block_in[succ.index] = merged
                     if succ.index not in queued:
                         worklist.append(succ.index)
                         queued.add(succ.index)
+
+        # Narrowing (only with an entry refinement in play): the
+        # widened fixpoint X satisfies X >= F(X), so descending
+        # applications of F are sound — every F^k(X) still
+        # over-approximates the least fixpoint — and the refine clamp
+        # makes them productive: a register whose widening over-shot
+        # to TOP gets clamped at the loop header, and the narrowing
+        # sweeps propagate the recovered bound to every derived value
+        # downstream.  Two sweeps recover everything a one-level
+        # derivation chain lost; deeper chains converge monotonically
+        # and any residue is merely precision left on the table.
+        if refine is not None:
+            for _ in range(2):
+                out_states: Dict[int, Optional[S]] = {}
+                for block in self.cfg:
+                    state = block_in[block.index]
+                    for addr, instr in block.instructions:
+                        if state is None:
+                            break
+                        state = lattice.transfer(state, addr, instr)
+                    out_states[block.index] = state
+                incoming: Dict[int, Optional[S]] = {
+                    block.index: seeds.get(block.index)
+                    for block in self.cfg
+                }
+                for block in self.cfg:
+                    for succ in self.cfg.successor_blocks(
+                            block, self.indirect_to_all):
+                        incoming[succ.index] = self._join_opt(
+                            incoming[succ.index],
+                            out_states[block.index])
+                stable = True
+                for index, merged in incoming.items():
+                    if merged is not None:
+                        merged = refine(index, merged)
+                    if not self._eq_opt(merged, block_in[index]):
+                        block_in[index] = merged
+                        stable = False
+                if stable:
+                    break
 
         # Final pass: record the joined state before every instruction.
         pre_states: Dict[int, Optional[S]] = {}

@@ -12,8 +12,12 @@ from typing import Dict, List, Mapping, Optional, Tuple
 #: ``schema_version`` itself and the optional ``refinement`` block;
 #: 3 = optional per-finding ``certificate`` block (symbolic verdict,
 #: witness, dynamic replay, solver stats) from ``repro analyze
-#: --certify``.
-SCHEMA_VERSION = 3
+#: --certify``; 4 = summary provenance: the refinement block gains
+#: ``accelerated`` refutation reasons, certificates gain a ``summary``
+#: block (``merged_paths``, ``summarized_loops``, ``accelerated_loops``,
+#: ``summary_cache_hit``) and the certify block reports the same
+#: counters.
+SCHEMA_VERSION = 4
 
 
 class GadgetKind(Enum):

@@ -131,19 +131,29 @@ class Var(Expr):
     ``origin_word`` records the word address the symbol models (``None``
     for register or synthetic symbols) — the witness builder uses it to
     turn a model back into a concrete ``initial_memory``.
+
+    ``lo``/``hi`` optionally tighten the abstract interval below the
+    full 64-bit range.  Callers may only pass bounds that are *true
+    invariants of every concrete execution* the symbol models (e.g. an
+    accelerated induction-variable cap): the interval feeds
+    ``cannot_equal``/``words_disjoint`` refutations, so an unsound
+    bound would let the certifier prove disjointness that real runs
+    violate.  Found models are not clamped to the interval — any model
+    that strays outside is filtered by concrete witness validation.
     """
 
     __slots__ = ("name", "preferred", "origin_word")
 
     def __init__(self, name: str, *, secret: bool = False,
                  preferred: int = 0,
-                 origin_word: Optional[int] = None) -> None:
+                 origin_word: Optional[int] = None,
+                 lo: int = 0, hi: int = WORD_MASK) -> None:
         self.name = name
         self.secret = secret
         self.preferred = mask64(preferred)
         self.origin_word = origin_word
-        self.lo = 0
-        self.hi = WORD_MASK
+        self.lo = mask64(lo)
+        self.hi = mask64(hi)
         self.zeros = 0
 
     def __repr__(self) -> str:

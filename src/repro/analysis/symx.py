@@ -47,6 +47,48 @@ truncation) with every observation — and every transient-reachable
 branch condition — independent of secret symbols.  Anything else is
 ``UNKNOWN``, with structured warnings saying which budget degraded the
 result (never a hang: all loops are budget-bounded).
+
+Loop summarization and path merging
+-----------------------------------
+
+Brute enumeration cannot finish loop-heavy programs within the default
+budgets, so the explorer consumes :mod:`repro.analysis.summaries`:
+
+- **Loop summarization (havoc + subsumption).**  After ``loop_visits``
+  architectural entries of a summarizable natural-loop header, the
+  path's state is *generalized*: every register the loop body may
+  write becomes a fresh symbol (bounded by the accelerated
+  induction-variable cap when one is proven — the cap is a true
+  invariant of every concrete run, so the bound is sound), and if the
+  body stores, a memory-havoc barrier hides all older stores behind
+  conservative fresh reads.  The generalized state is snapshotted;
+  when a descendant path returns to the header in a state *subsumed*
+  by the snapshot (identical non-written registers and shadow stack,
+  memory covered by the havoc), it is killed: every concrete
+  continuation it could take is an instantiation of the snapshot —
+  whose continuations were already explored.  Real executions satisfy
+  the induction caps, so instantiation always succeeds for them;
+  symbolic corner states outside the caps are spurious (no concrete
+  run reaches them) and losing them cannot hide a real leak, because
+  LEAKY always requires a concretely validated two-trace divergence.
+  Generalization is *refused* (falling back to budgeted unrolling)
+  whenever a written register or a covered store carries a secret —
+  havoc symbols are public, and declaring a possibly-secret value
+  public would be unsound.
+
+- **Path merging at join points.**  Frame-free paths arriving at a
+  post-dominator join are parked; once the work stack drains, each
+  parked group is fused pairwise under a per-join budget.  Merging
+  only ever *weakens*: differing public registers fold to a fresh
+  public symbol (a sound ite-elimination) and the path constraints
+  drop to the longest common prefix.  Paths differing in any
+  secret-tagged register, store log, shadow stack, or havoc history
+  refuse to merge, and register folding is disabled entirely when the
+  program declares secrets — so secret-bearing corpus programs see
+  byte-identical exploration while secret-free SPEC workloads stop
+  forking exponentially.  A weaker state can only add spurious
+  observations (filtered by concrete validation) — never remove real
+  ones — so PROVED_SAFE/LEAKY remain trustworthy.
 """
 from __future__ import annotations
 
@@ -92,6 +134,12 @@ from .solver import (
     support,
     words_disjoint,
 )
+from .summaries import (
+    LoopSummary,
+    ProgramSummaries,
+    SummaryCache,
+    compute_program_summaries,
+)
 from .taint import DEFAULT_WINDOW
 from .witness import ReplayResult, Witness, replay_witness
 
@@ -103,6 +151,12 @@ DEFAULT_MAX_PATHS = 4096
 DEFAULT_MAX_STEPS = 200_000
 #: Default nested-misprediction depth (frames active at once).
 DEFAULT_MAX_DEPTH = 2
+#: Architectural visits of a summarizable loop header before the
+#: state is generalized (havoc + snapshot) instead of unrolled.
+DEFAULT_LOOP_VISITS = 2
+#: Per-join-point budget of pairwise path merges.  Transient twins
+#: park and merge too, so a drain routinely fuses hundreds of paths.
+DEFAULT_MERGE_BUDGET = 512
 #: How often (in steps) the wall-clock deadline and the cancellation
 #: hook are polled during exploration.
 _BUDGET_POLL_STEPS = 256
@@ -153,6 +207,23 @@ class _Store:
     value: Expr
 
 
+@dataclass(frozen=True)
+class _HavocSnapshot:
+    """The generalized state installed by one loop-header havoc.
+
+    Paths returning to the header in a state subsumed by the snapshot
+    (see ``_Explorer._loop_subsumed``) are killed — their concrete
+    continuations instantiate this more general state, which has
+    already been explored.  Snapshots are compared by identity across
+    merged/forked paths: only descendants of the *same* havoc share
+    the object, so identity equality is exactly "same generalization".
+    """
+
+    regs: Tuple[Tuple[int, Expr], ...]
+    shadow: Tuple[int, ...]
+    store_len: int
+
+
 @dataclass
 class _Path:
     """Mutable symbolic machine state for one exploration path."""
@@ -163,6 +234,23 @@ class _Path:
     constraints: Tuple[Expr, ...] = ()
     stores: Tuple[_Store, ...] = ()
     shadow: Tuple[int, ...] = ()
+    #: Architectural entry counts per summarizable loop header.
+    visits: Optional[Dict[int, int]] = None
+    #: Installed havoc snapshots per loop header.  Both dicts are
+    #: copy-on-write (reassigned, never mutated in place) so forks can
+    #: share them.
+    havocs: Optional[Dict[int, _HavocSnapshot]] = None
+    #: Stores with ``seq <= mem_havoc_seq`` are hidden behind the most
+    #: recent memory havoc: reads reaching past this barrier return
+    #: conservative fresh symbols instead of forwarded values.
+    mem_havoc_seq: int = -1
+    #: True when a havoc ever covered a store carrying a secret value
+    #: (or a secret-dependent address): reads through the barrier must
+    #: then stay secret-tagged.
+    mem_havoc_secret: bool = False
+    #: One-shot pass-through: a path unparked from this join address
+    #: must not immediately re-park there.
+    no_park: int = -1
 
     def fork(self, pc: int, *, frame: Optional[_Frame] = None,
              constraint: Optional[Expr] = None,
@@ -178,6 +266,10 @@ class _Path:
             constraints=constraints,
             stores=self.stores,
             shadow=self.shadow if shadow is None else shadow,
+            visits=self.visits,
+            havocs=self.havocs,
+            mem_havoc_seq=self.mem_havoc_seq,
+            mem_havoc_secret=self.mem_havoc_secret,
         )
 
 
@@ -249,6 +341,12 @@ class CertifyResult:
     window: int
     max_depth: int
     duration_s: float = 0.0
+    #: Summary provenance: how much loop summarization / path merging
+    #: contributed to this verdict (schema v4).
+    merged_paths: int = 0
+    summarized_loops: int = 0
+    accelerated_loops: int = 0
+    summary_cache_hit: bool = False
 
     @property
     def leaky_pcs(self) -> Tuple[int, ...]:
@@ -290,6 +388,12 @@ class CertifyResult:
                 f"  LEAKY [{leak.kind}/{leak.channel}] sink {leak.pc:#x} "
                 f"source {leak.source_pc:#x}  dynamic replay: {status}"
             )
+        if self.summarized_loops or self.merged_paths:
+            lines.append(
+                f"  summaries: {self.summarized_loops} loop(s) havocked"
+                f" ({self.accelerated_loops} with accelerated bounds), "
+                f"{self.merged_paths} path merge(s)"
+                + (", summary cache hit" if self.summary_cache_hit else ""))
         for warning in self.warnings:
             lines.append(f"  warning: {warning.get('kind')}: "
                          f"{warning.get('detail')}")
@@ -315,6 +419,10 @@ class CertifyResult:
             "window": self.window,
             "max_depth": self.max_depth,
             "duration_s": self.duration_s,
+            "merged_paths": self.merged_paths,
+            "summarized_loops": self.summarized_loops,
+            "accelerated_loops": self.accelerated_loops,
+            "summary_cache_hit": self.summary_cache_hit,
         }
 
 
@@ -337,6 +445,11 @@ class _Explorer:
                  max_steps: int, solver: ConstraintSolver,
                  deadline: Optional[float] = None,
                  cancel_check: Optional[Callable[[], bool]] = None,
+                 summaries: Optional[ProgramSummaries] = None,
+                 summarize_loops: bool = True,
+                 merge_paths: bool = True,
+                 loop_visits: int = DEFAULT_LOOP_VISITS,
+                 merge_budget: int = DEFAULT_MERGE_BUDGET,
                  ) -> None:
         self.program = program
         self.imap: Dict[int, Instruction] = dict(program.iter_addressed())
@@ -367,6 +480,24 @@ class _Explorer:
         self.steps = 0
         self.truncated = False
         self.warnings: List[Dict[str, object]] = []
+
+        #: Loop headers eligible for havoc summarization (only on
+        #: summarizable CFGs: reducible and free of indirect control).
+        self.loop_headers: Dict[int, LoopSummary] = {}
+        if (summaries is not None and summarize_loops
+                and summaries.summarizable):
+            self.loop_headers = summaries.headers
+        #: Join addresses where frame-free paths park for merging
+        #: (sound on any CFG — merging only weakens states).
+        self.merge_addrs: frozenset = frozenset()
+        if summaries is not None and merge_paths:
+            self.merge_addrs = summaries.merge_points()
+        self.loop_visits = max(1, loop_visits)
+        self.merge_budget = max(0, merge_budget)
+        self._parked: Dict[int, List[_Path]] = {}
+        self.merged_paths = 0
+        self.summarized_loops: Set[int] = set()
+        self.accelerated_loops: Set[int] = set()
 
     # -- symbolic initial state -----------------------------------------
 
@@ -422,7 +553,14 @@ class _Explorer:
                     if frame.bypass_seq >= 0}
         may_secret = False
         saw_may_alias = False
+        hit_havoc = False
         for store in reversed(path.stores):
+            if store.seq <= path.mem_havoc_seq:
+                # Everything at or below the barrier was generalized
+                # away by a loop havoc: the scan cannot forward from
+                # (or prove disjointness against) hidden stores.
+                hit_havoc = True
+                break
             if store.seq in bypassed:
                 continue
             must = exprs_equal(store.addr, addr) or (
@@ -439,7 +577,9 @@ class _Explorer:
             saw_may_alias = True
             may_secret = may_secret or store.value.secret
         initial = self._read_initial(pc, addr, path.constraints)
-        if not saw_may_alias:
+        if hit_havoc:
+            may_secret = may_secret or path.mem_havoc_secret
+        if not saw_may_alias and not hit_havoc:
             return initial
         # Ambiguous forwarding: the value is one of several sources.
         sym = self._fresh_read(pc, addr, may_secret or initial.secret,
@@ -509,12 +649,242 @@ class _Explorer:
         stack: List[_Path] = [_Path(pc=entry, regs={})]
         self._charge_path()
         try:
-            while stack:
-                path = stack.pop()
-                self._run_path(path, stack)
+            while True:
+                while stack:
+                    path = stack.pop()
+                    self._run_path(path, stack)
+                if not self._parked:
+                    break
+                self._drain_parked(stack)
         except PathBudgetExceeded as exc:
             self.truncated = True
             self.warnings.append(exc.warning)
+            self._parked.clear()
+
+    # -- loop summarization ----------------------------------------------
+
+    def _loop_subsumed(self, path: _Path, summary: LoopSummary,
+                       snap: _HavocSnapshot) -> bool:
+        """True when every *concrete* continuation of ``path`` is an
+        instantiation of the havoc snapshot's (already explored) state.
+
+        Written registers are instantiable by construction — the havoc
+        symbols are unconstrained (or bounded by a proven invariant
+        every real run satisfies) — unless they currently carry a
+        secret, which the public havoc symbols cannot represent.  All
+        other registers, the shadow stack, and (absent a memory havoc)
+        the store log must match exactly; with a memory havoc, stores
+        appended since the snapshot are covered by the barrier's
+        conservative reads as long as they are secret-free (or the
+        barrier is already secret-tagged).
+        """
+        if path.shadow != snap.shadow:
+            return False
+        written = set(summary.written_regs)
+        for reg in written:
+            if self._reg(path, reg).secret:
+                return False
+        snap_regs = dict(snap.regs)
+        for reg in set(path.regs) | set(snap_regs):
+            if reg in written:
+                continue
+            a = path.regs.get(reg) or Const(0)
+            b = snap_regs.get(reg) or Const(0)
+            if a.secret != b.secret or not exprs_equal(a, b):
+                return False
+        if summary.writes_memory:
+            if not path.mem_havoc_secret:
+                for store in path.stores[snap.store_len:]:
+                    if store.value.secret or store.addr.secret:
+                        return False
+        elif len(path.stores) != snap.store_len:
+            return False
+        return True
+
+    def _enter_header(self, path: _Path) -> bool:
+        """Architectural entry of a summarizable loop header.
+
+        Returns False to kill the path (subsumed by its own havoc
+        snapshot).  Past ``loop_visits`` concrete entries the state is
+        generalized: written registers havoc to fresh public symbols
+        (bounded by accelerated induction caps where proven), stored
+        memory havocs behind a read barrier, and the generalized state
+        is snapshotted for the subsumption check.  Nested or
+        re-entered loops whose outer context changed simply fail
+        subsumption and re-generalize — each re-havoc is followed by
+        one bounded traversal, so termination is preserved.
+        """
+        header = path.pc
+        summary = self.loop_headers[header]
+        snap = path.havocs.get(header) if path.havocs else None
+        if snap is not None and self._loop_subsumed(path, summary, snap):
+            return False
+        visits = dict(path.visits) if path.visits else {}
+        count = visits.get(header, 0) + 1
+        visits[header] = count
+        path.visits = visits
+        if count <= self.loop_visits:
+            return True
+        written = summary.written_regs
+        for reg in written:
+            if self._reg(path, reg).secret:
+                # A havoc symbol is public; generalizing a possibly-
+                # secret register would be unsound.  Fall back to
+                # budgeted unrolling for this loop.
+                return True
+        for reg in written:
+            bound = summary.bound_for(reg)
+            self._fresh += 1
+            name = f"havoc_{header:x}_r{reg}_{self._fresh}"
+            if bound is not None:
+                sym = Var(name, lo=bound.lo, hi=bound.hi)
+                self.accelerated_loops.add(header)
+            else:
+                sym = Var(name)
+            path.regs[reg] = sym
+        if summary.writes_memory:
+            for store in reversed(path.stores):
+                if store.seq <= path.mem_havoc_seq:
+                    break
+                if store.value.secret or store.addr.secret:
+                    path.mem_havoc_secret = True
+                    break
+            path.mem_havoc_seq = self._store_seq
+        havocs = dict(path.havocs) if path.havocs else {}
+        havocs[header] = _HavocSnapshot(
+            regs=tuple(sorted(path.regs.items(), key=lambda kv: kv[0])),
+            shadow=path.shadow,
+            store_len=len(path.stores))
+        path.havocs = havocs
+        self.summarized_loops.add(header)
+        return True
+
+    # -- path merging ------------------------------------------------------
+
+    def _merge_key(self, path: _Path) -> Tuple:
+        """Cheap bucket key: two paths can only merge within a key.
+
+        The key excludes ``window_left`` (merging maxes windows) and
+        register values (merging folds them); everything else that a
+        merge must preserve exactly is hashed here so the drain never
+        attempts quadratic pairing across incompatible paths.
+        """
+        return (
+            tuple((f.kind, f.source_pc, f.bypass_seq)
+                  for f in path.frames),
+            len(path.stores),
+            path.shadow,
+            path.mem_havoc_seq,
+            tuple(sorted((path.visits or {}).items())),
+            tuple(sorted((id(s) for s in (path.havocs or {}).values()))),
+        )
+
+    def _merge_at_join(self, a: _Path, b: _Path,
+                       addr: int) -> Optional[_Path]:
+        """Fuse two parked paths (same ``_merge_key``) or return None.
+
+        The fused state over-approximates both inputs: registers that
+        agree are kept, disagreeing *public* registers fold to a fresh
+        public symbol, constraints drop to the longest common prefix,
+        and speculation windows take the pointwise maximum (a longer
+        window explores a superset of behaviors; the extra
+        observations are spurious and die in concrete validation).
+        Anything that cannot be weakened soundly — secret registers
+        or differing store logs — refuses the merge.  When the
+        program declares secrets, merging degrades to pure
+        deduplication (identical registers, constraints, and windows):
+        a folded symbol could alias a secret word a precise value
+        could not, flipping a corpus PROVED_SAFE to UNKNOWN for
+        nothing.
+        """
+        strict = bool(self.secret_words)
+        frames = a.frames
+        if a.frames != b.frames:
+            if strict:
+                return None
+            frames = tuple(
+                replace(fa, window_left=max(fa.window_left,
+                                            fb.window_left))
+                for fa, fb in zip(a.frames, b.frames))
+        for sa, sb in zip(a.stores, b.stores):
+            if sa is sb:
+                continue
+            if sa.pc != sb.pc or not exprs_equal(sa.addr, sb.addr) \
+                    or not exprs_equal(sa.value, sb.value):
+                return None
+        regs: Dict[int, Expr] = {}
+        folded: List[int] = []
+        for reg in set(a.regs) | set(b.regs):
+            va = a.regs.get(reg) or Const(0)
+            vb = b.regs.get(reg) or Const(0)
+            if va is vb or exprs_equal(va, vb):
+                regs[reg] = va
+                continue
+            if va.secret or vb.secret or strict:
+                return None
+            folded.append(reg)
+        if strict and a.constraints != b.constraints:
+            return None
+        for reg in folded:
+            self._fresh += 1
+            regs[reg] = Var(f"merge_{addr:x}_r{reg}_{self._fresh}")
+        common: List[Expr] = []
+        for ca, cb in zip(a.constraints, b.constraints):
+            if ca is cb or exprs_equal(ca, cb):
+                common.append(ca)
+            else:
+                break
+        return _Path(
+            pc=addr, regs=regs, frames=frames,
+            constraints=tuple(common),
+            stores=a.stores, shadow=a.shadow,
+            visits=a.visits, havocs=a.havocs,
+            mem_havoc_seq=a.mem_havoc_seq,
+            mem_havoc_secret=a.mem_havoc_secret or b.mem_havoc_secret)
+
+    #: Unmergeable same-key paths each become a representative; new
+    #: arrivals only try this many before giving up (bounds the
+    #: per-bucket pairing at O(n * cap)).
+    _MERGE_REP_CAP = 8
+
+    def _drain_parked(self, stack: List[_Path]) -> None:
+        """Unpark the largest join group, fusing compatible paths.
+
+        Paths are bucketed by :meth:`_merge_key` first, then folded
+        left-to-right within each bucket.  Merged paths are not
+        re-charged against the path budget (they strictly reduce the
+        live set), and the per-join merge budget bounds total fusions.
+        """
+        addr = max(self._parked, key=lambda a: (len(self._parked[a]), -a))
+        group = self._parked.pop(addr)
+        buckets: Dict[Tuple, List[_Path]] = {}
+        for path in group:
+            buckets.setdefault(self._merge_key(path), []).append(path)
+        budget = self.merge_budget
+        out: List[_Path] = []
+        for bucket in buckets.values():
+            reps: List[_Path] = []
+            for path in bucket:
+                fused: Optional[_Path] = None
+                if budget > 0:
+                    for i, rep in enumerate(reps[:self._MERGE_REP_CAP]):
+                        fused = self._merge_at_join(rep, path, addr)
+                        if fused is not None:
+                            reps[i] = fused
+                            self.merged_paths += 1
+                            # A fusion retires one live path: refund
+                            # its budget charge.  ``paths`` thus counts
+                            # distinct merged flows, and ``max_steps``
+                            # still bounds the total work.
+                            self.paths -= 1
+                            budget -= 1
+                            break
+                if fused is None:
+                    reps.append(path)
+            out.extend(reps)
+        for path in out:
+            path.no_park = addr
+            stack.append(path)
 
     def _reg(self, path: _Path, index: int) -> Expr:
         if index == 0:
@@ -564,6 +934,15 @@ class _Explorer:
 
     def _run_path(self, path: _Path, stack: List[_Path]) -> None:
         while True:
+            if path.pc == path.no_park:
+                path.no_park = -1  # one-shot pass-through after unpark
+            elif self.merge_addrs and path.pc in self.merge_addrs:
+                self._parked.setdefault(path.pc, []).append(path)
+                return
+            if (self.loop_headers and not path.frames
+                    and path.pc in self.loop_headers
+                    and not self._enter_header(path)):
+                return  # subsumed by this path's own havoc snapshot
             instr = self.imap.get(path.pc)
             if instr is None:
                 return  # control left the program image: path ends
@@ -987,6 +1366,12 @@ def certify_program(
     wall_clock_budget: Optional[float] = None,
     cancel_check: Optional[Callable[[], bool]] = None,
     options: Optional[RunOptions] = None,
+    summaries: Optional[ProgramSummaries] = None,
+    summary_cache: Optional[SummaryCache] = None,
+    summarize_loops: bool = True,
+    merge_paths: bool = True,
+    loop_visits: int = DEFAULT_LOOP_VISITS,
+    merge_budget: int = DEFAULT_MERGE_BUDGET,
 ) -> CertifyResult:
     """Certify ``program`` speculatively noninterferent — or refute it
     with a replayable counterexample.
@@ -1003,6 +1388,15 @@ def certify_program(
     — never a hang.  Both may also arrive bundled as ``options``
     (:class:`repro.params.RunOptions`, the service convention);
     explicit keywords win.
+
+    ``summaries``/``summary_cache`` feed the loop-summarization and
+    path-merging machinery (module docstring): precomputed
+    :class:`~repro.analysis.summaries.ProgramSummaries` are used as
+    given, otherwise they are derived here (consulting, and
+    populating, the optional persistent cache).  ``summarize_loops``
+    and ``merge_paths`` switch the two mechanisms independently;
+    ``loop_visits`` is the concrete unroll depth before a loop
+    generalizes and ``merge_budget`` bounds per-join fusions.
     """
     if options is not None:
         if wall_clock_budget is None:
@@ -1014,11 +1408,19 @@ def certify_program(
                 if wall_clock_budget is not None else None)
     secrets = tuple(sorted(set(mask64(w) & _WORD_ALIGN
                                for w in secret_words)))
+    if summaries is None and (summarize_loops or merge_paths):
+        summaries = compute_program_summaries(program, window=window,
+                                              cache=summary_cache)
     solver = ConstraintSolver()
     explorer = _Explorer(program, secrets, window=window,
                          max_depth=max_depth, max_paths=max_paths,
                          max_steps=max_steps, solver=solver,
-                         deadline=deadline, cancel_check=cancel_check)
+                         deadline=deadline, cancel_check=cancel_check,
+                         summaries=summaries,
+                         summarize_loops=summarize_loops,
+                         merge_paths=merge_paths,
+                         loop_visits=loop_visits,
+                         merge_budget=merge_budget)
     explorer.explore()
 
     line_bytes = machine.memory.line_bytes if machine is not None else 64
@@ -1166,6 +1568,11 @@ def certify_program(
         window=window,
         max_depth=max_depth,
         duration_s=time.perf_counter() - started,
+        merged_paths=explorer.merged_paths,
+        summarized_loops=len(explorer.summarized_loops),
+        accelerated_loops=len(explorer.accelerated_loops),
+        summary_cache_hit=bool(summaries is not None
+                               and summaries.cache_hit),
     )
 
 
@@ -1174,8 +1581,10 @@ def finding_certificates(
     report: AnalysisReport,
 ) -> Dict[int, Dict[str, object]]:
     """Per-finding ``certificate`` blocks for the analyze JSON schema
-    (v3): the certifier's verdict *for that sink*, plus the witness,
-    its dynamic replay, and the solver statistics backing the run."""
+    (v4): the certifier's verdict *for that sink*, plus the witness,
+    its dynamic replay, the solver statistics backing the run, and
+    the summary provenance (how much loop summarization / path
+    merging / cache reuse contributed)."""
     blocks: Dict[int, Dict[str, object]] = {}
     for finding in report.findings:
         verdict = result.verdict_for(finding.sink_pc)
@@ -1188,6 +1597,12 @@ def finding_certificates(
                        if leak is not None and leak.replay is not None
                        else None),
             "solver": result.solver_stats.to_dict(),
+            "summary": {
+                "merged_paths": result.merged_paths,
+                "summarized_loops": result.summarized_loops,
+                "accelerated_loops": result.accelerated_loops,
+                "summary_cache_hit": result.summary_cache_hit,
+            },
         }
     return blocks
 
@@ -1195,9 +1610,11 @@ def finding_certificates(
 __all__ = [
     "CertifyResult",
     "ControlCandidate",
+    "DEFAULT_LOOP_VISITS",
     "DEFAULT_MAX_DEPTH",
     "DEFAULT_MAX_PATHS",
     "DEFAULT_MAX_STEPS",
+    "DEFAULT_MERGE_BUDGET",
     "LeakRecord",
     "Observation",
     "Verdict",

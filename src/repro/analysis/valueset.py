@@ -25,6 +25,12 @@ tainting loads are provably harmless:
   from every tainting load's range, so the load cannot observe stale
   pre-store data.  In-bounds alone is *not* sufficient for V4: an
   in-bounds load can still leak a stale secret.
+- ``accelerated`` — the same in-bounds / no-alias facts, but only
+  provable after clamping the widening fixpoint with closed-form
+  induction-variable caps from :mod:`repro.analysis.summaries` (a
+  plain widening run confirmed the finding; the accelerated retry
+  refuted it).  The caps are part of the refutation's bounds, so the
+  downgrade stays machine-checkable.
 
 Each refutation carries the interval bounds and the containing region,
 so the downgrade is machine-checkable after the fact.
@@ -33,13 +39,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Mapping,
+                    Optional, Sequence, Tuple)
 
 from ..isa.instructions import WORD_BYTES, Instruction, Opcode
 from ..isa.program import Program
 from .cfg import ControlFlowGraph, build_cfg
 from .dataflow import DataflowResult, ForwardDataflow, Lattice
 from .report import AnalysisReport, Finding, GadgetKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .summaries import ProgramSummaries
 
 U64_MAX = (1 << 64) - 1
 
@@ -123,6 +133,24 @@ def vs_widen(old: ValueSet, new: ValueSet) -> ValueSet:
     lo = old.lo if new.lo >= old.lo else 0
     hi = old.hi if new.hi <= old.hi else U64_MAX
     stride = math.gcd(old.stride, new.stride)
+    return ValueSet(lo, hi, _stride_for(lo, hi, stride))
+
+
+def vs_meet(a: ValueSet, b: ValueSet) -> ValueSet:
+    """Sound meet with an externally *proven* invariant ``b`` (an
+    accelerated induction-variable cap): the result over-approximates
+    the true intersection — strides fall back to gcd, and an empty
+    interval intersection answers ``b`` (the invariant holds
+    everywhere, so a state contradicting it is simply unreachable and
+    any sound value serves)."""
+    if a == b or b.is_top:
+        return a
+    if a.is_top:
+        return b
+    lo, hi = max(a.lo, b.lo), min(a.hi, b.hi)
+    if lo > hi:
+        return b
+    stride = math.gcd(a.stride, b.stride)
     return ValueSet(lo, hi, _stride_for(lo, hi, stride))
 
 
@@ -335,10 +363,30 @@ class ValueSetLattice(Lattice[ValueSetState]):
 def compute_value_sets(
     program: Program,
     cfg: Optional[ControlFlowGraph] = None,
+    caps: Optional[Mapping[int, ValueSet]] = None,
 ) -> DataflowResult[ValueSetState]:
-    """Fixpoint value sets over the speculative CFG, from reset state."""
+    """Fixpoint value sets over the speculative CFG, from reset state.
+
+    ``caps`` maps registers to *globally proven* value invariants
+    (accelerated induction-variable ranges from
+    :mod:`repro.analysis.summaries`).  They are met into every block
+    entry state, so where plain widening jumps a loop counter to TOP
+    the accelerated fixpoint lands on the closed-form strided interval
+    instead.
+    """
     cfg = cfg if cfg is not None else build_cfg(program)
-    engine = ForwardDataflow(cfg, ValueSetLattice(), indirect_to_all=True)
+    refine = None
+    if caps:
+        cap_items = tuple(sorted(caps.items()))
+
+        def refine(_index: int, state: ValueSetState) -> ValueSetState:
+            for reg, cap in cap_items:
+                state = state.with_value(
+                    reg, vs_meet(state.value_of(reg), cap))
+            return state
+
+    engine = ForwardDataflow(cfg, ValueSetLattice(), indirect_to_all=True,
+                             refine_entry=refine)
     seeds: Dict[int, ValueSetState] = {}
     entry_point = program.entry_point
     if cfg.blocks and entry_point is not None:
@@ -388,8 +436,10 @@ class LoadBound:
 class Refutation:
     """Why a finding was downgraded."""
 
-    #: ``in-bounds`` (V1/V2/RSB) or ``no-alias`` (V4, implies in-bounds
-    #: of the loads plus store/load disjointness).
+    #: ``in-bounds`` (V1/V2/RSB), ``no-alias`` (V4, implies in-bounds
+    #: of the loads plus store/load disjointness), or ``accelerated``
+    #: (either of the above, provable only under induction-variable
+    #: caps — see :func:`refine_report`).
     reason: str
     bounds: Tuple[LoadBound, ...]
     detail: str = ""
@@ -435,6 +485,12 @@ class RefinedReport:
         return len(self.refuted)
 
     @property
+    def accelerated_count(self) -> int:
+        """Refutations that needed induction-variable acceleration."""
+        return sum(1 for r in self.refuted
+                   if r.refutation.reason == "accelerated")
+
+    @property
     def false_positive_reduction(self) -> float:
         """Fraction of static findings refuted by the value-set pass."""
         total = len(self.base.findings)
@@ -466,6 +522,7 @@ class RefinedReport:
             ],
             "secret_words": list(self.secret_words),
             "false_positive_reduction": self.false_positive_reduction,
+            "accelerated": self.accelerated_count,
         }
 
 
@@ -516,6 +573,7 @@ def refine_report(
     secret_words: Iterable[int] = (),
     cfg: Optional[ControlFlowGraph] = None,
     values: Optional[DataflowResult[ValueSetState]] = None,
+    summaries: Optional["ProgramSummaries"] = None,
 ) -> RefinedReport:
     """Partition ``report.findings`` into confirmed and refuted.
 
@@ -525,6 +583,13 @@ def refine_report(
     additionally require the source store's address range to be
     bounded and disjoint from all tainting loads (in-bounds does not
     protect against reading stale data through the very same address).
+
+    When ``summaries`` (a
+    :class:`~repro.analysis.summaries.ProgramSummaries`) proves
+    induction-variable caps, findings the plain widening fixpoint
+    confirms get a second chance: the value sets are recomputed with
+    the caps met into every block entry, and refutations earned that
+    way carry the ``accelerated`` reason.
     """
     cfg = cfg if cfg is not None else build_cfg(program)
     if values is None:
@@ -539,6 +604,29 @@ def refine_report(
             confirmed.append(finding)
         else:
             refuted.append(RefutedFinding(finding, refutation))
+
+    caps = summaries.induction_caps() if summaries is not None else {}
+    if confirmed and caps:
+        accel_values = compute_value_sets(program, cfg=cfg, caps=caps)
+        cap_text = ", ".join(
+            f"r{reg}<={cap.hi:#x}/{cap.stride}"
+            for reg, cap in sorted(caps.items()))
+        still_confirmed: List[Finding] = []
+        for finding in confirmed:
+            refutation = _refute_one(cfg, accel_values, regions,
+                                     secrets, finding)
+            if refutation is None:
+                still_confirmed.append(finding)
+                continue
+            refuted.append(RefutedFinding(finding, Refutation(
+                reason="accelerated",
+                bounds=refutation.bounds,
+                detail=(f"{refutation.detail}; provable only under "
+                        f"accelerated induction caps [{cap_text}] "
+                        f"(plain widening loses the bound)"),
+            )))
+        confirmed = still_confirmed
+
     return RefinedReport(
         base=report,
         confirmed=confirmed,

@@ -190,9 +190,22 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     window = args.window if args.window is not None else DEFAULT_WINDOW
     report = analyze_program(program, window=window, name=args.program)
     print(report.render())
+    summaries = None
+    summary_cache = None
+    if args.refine or args.fix or args.certify:
+        from .analysis.summaries import (
+            SummaryCache,
+            compute_program_summaries,
+        )
+
+        if args.summary_cache:
+            summary_cache = SummaryCache(path=args.summary_cache)
+        summaries = compute_program_summaries(
+            program, window=window, cache=summary_cache)
     refined = None
     if args.refine or args.fix:
-        refined = refine_report(program, report, secret_words=secrets)
+        refined = refine_report(program, report, secret_words=secrets,
+                                summaries=summaries)
         print()
         print(refined.render())
     synthesis = None
@@ -224,9 +237,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             max_paths=(args.max_paths if args.max_paths is not None
                        else DEFAULT_MAX_PATHS),
             name=args.program,
+            summaries=summaries,
         )
         print()
         print(certified.render())
+    if summary_cache is not None:
+        summary_cache.close()
     if args.json:
         import json
 
@@ -281,6 +297,11 @@ def _cmd_certify(args: argparse.Namespace) -> int:
                  else DEFAULT_MAX_PATHS)
     max_steps = (args.max_steps if args.max_steps is not None
                  else DEFAULT_MAX_STEPS)
+    summary_cache = None
+    if args.summary_cache:
+        from .analysis.summaries import SummaryCache
+
+        summary_cache = SummaryCache(path=args.summary_cache)
     exit_code = 0
     documents = []
     for spec in args.programs:
@@ -288,6 +309,8 @@ def _cmd_certify(args: argparse.Namespace) -> int:
             program, default_secrets = _load_analysis_program(spec)
         except ValueError as exc:
             print(str(exc), file=sys.stderr)
+            if summary_cache is not None:
+                summary_cache.close()
             return 2
         secrets = tuple(int(word, 0) for word in args.secret) \
             if args.secret else tuple(default_secrets)
@@ -301,6 +324,7 @@ def _cmd_certify(args: argparse.Namespace) -> int:
             replay=not args.no_replay,
             machine=machine,
             name=spec,
+            summary_cache=summary_cache,
         )
         print(result.render())
         documents.append(result.to_dict())
@@ -312,6 +336,8 @@ def _cmd_certify(args: argparse.Namespace) -> int:
                 exit_code = 1
             if args.fail_on_leak:
                 exit_code = 1
+    if summary_cache is not None:
+        summary_cache.close()
     if args.json:
         import json
 
@@ -429,12 +455,14 @@ def _cmd_precision(args: argparse.Namespace) -> int:
         machine=_machine(args),
         benchmarks=args.benchmarks or None,
         scale=args.scale,
+        workers=args.workers,
         window=args.window,
         max_paths=(args.max_paths if args.max_paths is not None
                    else DEFAULT_MAX_PATHS),
         max_steps=(args.max_steps if args.max_steps is not None
                    else DEFAULT_MAX_STEPS),
         replay=not args.no_replay,
+        summary_cache=args.summary_cache,
     )
     print(result.render())
     if args.json:
@@ -706,6 +734,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.add_argument("--max-paths", type=int, default=None,
                            help="symbolic path budget for --certify "
                                 "(exhaustion degrades to UNKNOWN)")
+    p_analyze.add_argument("--summary-cache", default=None,
+                           metavar="PATH",
+                           help="persist CFG/loop summaries for "
+                                "--refine/--certify across runs "
+                                "(content-addressed; safe to share)")
     p_analyze.add_argument("--secret", action="append", default=None,
                            metavar="ADDR",
                            help="word address holding a secret (may "
@@ -746,6 +779,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_certify.add_argument("--no-replay", action="store_true",
                            help="skip replaying witnesses on the "
                                 "dynamic pipeline")
+    p_certify.add_argument("--summary-cache", default=None,
+                           metavar="PATH",
+                           help="persist CFG/loop summaries across "
+                                "runs (content-addressed; safe to "
+                                "share)")
     p_certify.add_argument("--secret", action="append", default=None,
                            metavar="ADDR",
                            help="word address holding a secret (may "
@@ -809,6 +847,13 @@ def build_parser() -> argparse.ArgumentParser:
                              help="certifier step budget")
     p_precision.add_argument("--no-replay", action="store_true",
                              help="skip dynamic witness replay")
+    p_precision.add_argument("--workers", type=int, default=1,
+                             help="fan rows across N worker processes "
+                                  "(default 1; identical table)")
+    p_precision.add_argument("--summary-cache", default=None,
+                             metavar="PATH",
+                             help="persist CFG/loop summaries across "
+                                  "runs (serial only)")
     p_precision.add_argument("--json", default=None,
                              help="also write the study table as JSON")
     _add_machine_arg(p_precision)

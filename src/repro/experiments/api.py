@@ -197,8 +197,9 @@ register_experiment(ExperimentSpec(
     runner=run_precision_study,
     description="Static precision tiers: taint vs +valueset vs +symx "
                 "over the corpus + SPEC-like workloads",
-    supports=("benchmarks", "machine", "scale"),
-    extras=("window", "max_paths", "max_steps", "replay"),
+    supports=("benchmarks", "machine", "scale", "workers"),
+    extras=("window", "max_paths", "max_steps", "replay",
+            "summary_cache"),
 ))
 register_experiment(ExperimentSpec(
     name="lru_study",

@@ -35,6 +35,7 @@ from ..analysis.corpus import (
     corpus_secret_words,
     ingested_gadgets,
 )
+from ..analysis.summaries import SummaryCache, compute_program_summaries
 from ..analysis.symx import (
     DEFAULT_MAX_PATHS,
     DEFAULT_MAX_STEPS,
@@ -44,6 +45,7 @@ from ..analysis.symx import (
 )
 from ..analysis.taint import DEFAULT_WINDOW, analyze_program
 from ..analysis.valueset import refine_report
+from ..errors import ConfigError
 from ..isa.program import Program
 from ..params import MachineParams
 from ..workloads import spec_names, spec_program
@@ -74,6 +76,12 @@ class PrecisionRow:
     witnesses: int                 # confirmed leaks (with witnesses)
     replayed: int                  # witnesses reproduced dynamically
     symx_s: float
+
+    # Summary provenance (how the certifier got its answer).
+    merged_paths: int = 0          # join-point path fusions
+    summarized_loops: int = 0      # loop headers havocked
+    accelerated_loops: int = 0     # havocked with proven induction caps
+    summary_cache_hit: bool = False
 
     @property
     def resolved_taint(self) -> bool:
@@ -133,6 +141,12 @@ class PrecisionStudyResult:
         return resolved["symx"] > max(resolved["taint"],
                                       resolved["valueset"])
 
+    @property
+    def unknown_count(self) -> int:
+        """Rows the certifier gave up on — the ratchet metric."""
+        return sum(1 for row in self.rows
+                   if row.verdict == Verdict.UNKNOWN.value)
+
     def tier_runtime(self, tier: str) -> float:
         attribute = {"taint": "taint_s", "valueset": "valueset_s",
                      "symx": "symx_s"}[tier]
@@ -155,11 +169,18 @@ class PrecisionStudyResult:
                 f"{row.symx_s * 1e3:.1f}",
             ])
         resolved = self.resolved_by_tier
+        summarized = sum(row.summarized_loops for row in self.rows)
+        accelerated = sum(row.accelerated_loops for row in self.rows)
+        merged = sum(row.merged_paths for row in self.rows)
+        cache_hits = sum(1 for row in self.rows if row.summary_cache_hit)
         footer = (
             f"resolved cases: taint {resolved['taint']}/{len(self.rows)}"
             f", +valueset {resolved['valueset']}/{len(self.rows)}"
             f", +symx {resolved['symx']}/{len(self.rows)}"
             f"  [{'symx strictly stronger' if self.symx_strictly_stronger else 'NO TIER GAIN'}]"
+            f"\nsummaries: {summarized} loop(s) havocked "
+            f"({accelerated} accelerated), {merged} path merge(s), "
+            f"{cache_hits} summary-cache hit(s)"
         )
         return (
             text_table(
@@ -176,6 +197,17 @@ class PrecisionStudyResult:
             "scale": self.scale,
             "resolved_by_tier": self.resolved_by_tier,
             "symx_strictly_stronger": self.symx_strictly_stronger,
+            "unknown_count": self.unknown_count,
+            "summaries": {
+                "summarized_loops": sum(row.summarized_loops
+                                        for row in self.rows),
+                "accelerated_loops": sum(row.accelerated_loops
+                                         for row in self.rows),
+                "merged_paths": sum(row.merged_paths
+                                    for row in self.rows),
+                "cache_hits": sum(1 for row in self.rows
+                                  if row.summary_cache_hit),
+            },
             "runtimes_s": {tier: self.tier_runtime(tier)
                            for tier in ("taint", "valueset", "symx")},
             "rows": [
@@ -194,37 +226,84 @@ class PrecisionStudyResult:
                     "taint_s": row.taint_s,
                     "valueset_s": row.valueset_s,
                     "symx_s": row.symx_s,
+                    "merged_paths": row.merged_paths,
+                    "summarized_loops": row.summarized_loops,
+                    "accelerated_loops": row.accelerated_loops,
+                    "summary_cache_hit": row.summary_cache_hit,
                 }
                 for row in self.rows
             ],
         }
 
 
-def _study_row(
-    name: str,
-    group: str,
-    program: Program,
-    secret_words: Tuple[int, ...],
-    *,
-    is_gadget: Optional[bool],
-    window: int,
-    machine: Optional[MachineParams],
-    max_paths: int,
-    max_steps: int,
-    replay: bool,
+@dataclass(frozen=True)
+class PrecisionTask:
+    """Spawn-safe description of one study row.
+
+    The program is *not* carried — workers rebuild it from ``spec``
+    (``("corpus", kind, variant)``, ``("ingested", name)`` or
+    ``("spec", name, scale)``), so the payload pickles cheaply and
+    identically under the spawn start method.
+    """
+
+    name: str
+    group: str                     # "corpus", "ingested" or "spec"
+    spec: Tuple[object, ...]
+    is_gadget: Optional[bool]
+    window: int
+    machine: Optional[MachineParams]
+    max_paths: int
+    max_steps: int
+    replay: bool
+
+
+def _build_task_program(task: PrecisionTask) -> Tuple[Program,
+                                                      Tuple[int, ...]]:
+    kind = task.spec[0]
+    if kind == "corpus":
+        return (build_corpus_variant(str(task.spec[1]),
+                                     str(task.spec[2])),
+                corpus_secret_words())
+    if kind == "ingested":
+        for gadget in ingested_gadgets():
+            if gadget.name == task.spec[1]:
+                return gadget.build(), gadget.secrets()
+        raise ConfigError(f"ingested gadget {task.spec[1]!r} vanished "
+                          f"between scheduling and execution")
+    if kind == "spec":
+        name, scale = str(task.spec[1]), float(task.spec[2])
+        return spec_program(name, scale=scale), ()
+    raise ConfigError(f"unknown precision task spec {task.spec!r}")
+
+
+def execute_precision_task(
+    task: PrecisionTask,
+    summary_cache: Optional[SummaryCache] = None,
 ) -> PrecisionRow:
+    """Run all three tiers for one task (also the worker entry point).
+
+    ``summary_cache`` is only threaded in the serial path — the
+    checkpoint store behind a persistent cache is single-writer, so
+    parallel workers compute summaries fresh instead.
+    """
+    program, secret_words = _build_task_program(task)
     started = time.perf_counter()
-    report = analyze_program(program, window=window, name=name)
+    report = analyze_program(program, window=task.window, name=task.name)
     taint_s = time.perf_counter() - started
 
+    summaries = compute_program_summaries(
+        program, window=task.window, cache=summary_cache)
+
     started = time.perf_counter()
-    refined = refine_report(program, report, secret_words=secret_words)
+    refined = refine_report(program, report, secret_words=secret_words,
+                            summaries=summaries)
     valueset_s = time.perf_counter() - started
 
     certified: CertifyResult = certify_program(
-        program, secret_words=secret_words, window=window,
-        max_paths=max_paths, max_steps=max_steps,
-        replay=replay, machine=machine, name=name,
+        program, secret_words=secret_words, window=task.window,
+        max_paths=task.max_paths, max_steps=task.max_steps,
+        replay=task.replay, machine=task.machine, name=task.name,
+        summaries=summaries,
     )
     proved = sum(
         1 for finding in report.findings
@@ -233,9 +312,9 @@ def _study_row(
     replayed = sum(1 for leak in certified.leaks
                    if leak.replay is not None and leak.replay.reproduced)
     return PrecisionRow(
-        name=name,
-        group=group,
-        is_gadget=is_gadget,
+        name=task.name,
+        group=task.group,
+        is_gadget=task.is_gadget,
         findings=len(report.findings),
         taint_s=taint_s,
         confirmed=len(refined.confirmed),
@@ -246,6 +325,10 @@ def _study_row(
         witnesses=len(certified.leaks),
         replayed=replayed,
         symx_s=certified.duration_s,
+        merged_paths=certified.merged_paths,
+        summarized_loops=certified.summarized_loops,
+        accelerated_loops=certified.accelerated_loops,
+        summary_cache_hit=certified.summary_cache_hit,
     )
 
 
@@ -257,6 +340,8 @@ def run_precision_study(
     max_paths: int = DEFAULT_MAX_PATHS,
     max_steps: int = DEFAULT_MAX_STEPS,
     replay: bool = True,
+    workers: int = 1,
+    summary_cache: Optional[str] = None,
 ) -> PrecisionStudyResult:
     """Run all three precision tiers over the corpus and SPEC suite.
 
@@ -266,32 +351,56 @@ def run_precision_study(
     their certification claims hinge on completeness alone: a clean
     ``PROVED_SAFE`` at default budgets, or an honest ``UNKNOWN`` when
     the loop structure exhausts the path budget.
+
+    ``workers > 1`` fans the rows across a spawn-based process pool
+    (:class:`~repro.perf.parallel.ParallelSweepExecutor`); every row is
+    an independent, deterministic analysis, so the table is identical
+    to the serial one.  ``summary_cache`` names a file persisting the
+    CFG/loop summary tier across study runs; it requires the serial
+    path because the backing checkpoint store is single-writer.
     """
+    if workers < 1:
+        raise ConfigError("workers must be >= 1")
+    if summary_cache is not None and workers > 1:
+        raise ConfigError(
+            "summary_cache persistence requires workers=1: the backing "
+            "checkpoint store is single-writer"
+        )
     window = window if window is not None else DEFAULT_WINDOW
-    rows: List[PrecisionRow] = []
-    secrets = corpus_secret_words()
+    tasks: List[PrecisionTask] = []
+
+    def add(name: str, group: str, spec: Tuple[object, ...],
+            is_gadget: Optional[bool]) -> None:
+        tasks.append(PrecisionTask(
+            name=name, group=group, spec=spec, is_gadget=is_gadget,
+            window=window, machine=machine, max_paths=max_paths,
+            max_steps=max_steps, replay=replay,
+        ))
+
     for kind in GADGET_KINDS:
         for variant in CORPUS_VARIANTS:
-            rows.append(_study_row(
-                f"{kind}-{variant}", "corpus",
-                build_corpus_variant(kind, variant), secrets,
-                is_gadget=(variant == "unsafe"), window=window,
-                machine=machine, max_paths=max_paths,
-                max_steps=max_steps, replay=replay,
-            ))
+            add(f"{kind}-{variant}", "corpus",
+                ("corpus", kind, variant), variant == "unsafe")
     # Fuzz-found gadgets extend the corpus without renumbering it:
     # always appended after the built-in grid, never interleaved.
     for gadget in ingested_gadgets():
-        rows.append(_study_row(
-            gadget.name, "ingested", gadget.build(), gadget.secrets(),
-            is_gadget=gadget.is_gadget, window=window,
-            machine=machine, max_paths=max_paths,
-            max_steps=max_steps, replay=replay,
-        ))
+        add(gadget.name, "ingested", ("ingested", gadget.name),
+            gadget.is_gadget)
     for name in (benchmarks if benchmarks is not None else spec_names()):
-        rows.append(_study_row(
-            name, "spec", spec_program(name, scale=scale), (),
-            is_gadget=None, window=window, machine=machine,
-            max_paths=max_paths, max_steps=max_steps, replay=replay,
-        ))
+        add(name, "spec", ("spec", name, scale), None)
+
+    if workers > 1:
+        from ..perf.parallel import ParallelSweepExecutor
+
+        executor = ParallelSweepExecutor(workers=workers)
+        rows = executor.run_tasks(tasks, run_fn=execute_precision_task)
+    else:
+        cache = SummaryCache(path=summary_cache) \
+            if summary_cache is not None else None
+        try:
+            rows = [execute_precision_task(task, summary_cache=cache)
+                    for task in tasks]
+        finally:
+            if cache is not None:
+                cache.close()
     return PrecisionStudyResult(rows=rows, window=window, scale=scale)

@@ -217,3 +217,29 @@ def check_regression(
             f"baseline {baseline.failures}"
         )
     return problems
+
+
+#: Improvement margin before ``--raise-floor`` rewrites the baseline:
+#: a run must beat it by more than 10% — genuine speedups ratchet the
+#: floor up, ordinary run-to-run noise does not churn the file.
+RAISE_FLOOR_MARGIN = 0.1
+
+
+def should_raise_floor(
+    result: BenchResult,
+    baseline: BenchResult,
+    margin: float = RAISE_FLOOR_MARGIN,
+) -> bool:
+    """Whether ``result`` earns a baseline rewrite (the ratchet).
+
+    Only a clean run qualifies: throughput more than ``margin`` above
+    the baseline, deterministic parallel rows, and no new failures —
+    a fast-but-broken run must never become the bar others are held
+    to.
+    """
+    if not result.deterministic:
+        return False
+    if result.failures > baseline.failures:
+        return False
+    ceiling = baseline.instructions_per_sec * (1.0 + margin)
+    return result.instructions_per_sec > ceiling

@@ -8,6 +8,13 @@ deterministic simulation, so a sweep is embarrassingly parallel.  The
 :class:`~repro.experiments.runner.SweepRow` results back to the parent
 as they complete.
 
+The executor is generic over the payload: ``map_tasks`` accepts a
+``run_fn`` (a module-level function, so it pickles under spawn) and
+any picklable task type.  The default pairing stays
+``execute_sweep_task``/:class:`SweepTask` for the simulation sweeps;
+the precision study fans :class:`~repro.experiments.precision_study.
+PrecisionTask` payloads through the same pool.
+
 Design constraints (all load-bearing):
 
 - **Spawn-safe payloads.**  Workers are started with the ``spawn``
@@ -32,7 +39,16 @@ from __future__ import annotations
 import multiprocessing
 import pickle
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 from ..errors import ConfigError, SimulationError
 from ..experiments.runner import SweepRow, SweepTask, execute_sweep_task
@@ -45,13 +61,21 @@ def default_workers() -> int:
     return max(1, multiprocessing.cpu_count())
 
 
-def _check_spawn_safe(task: SweepTask) -> None:
+def _task_label(task: object) -> str:
+    benchmark = getattr(task, "benchmark", None)
+    mode = getattr(task, "mode", None)
+    if benchmark is not None and mode is not None:
+        return f"{benchmark}/{getattr(mode, 'value', mode)}"
+    return getattr(task, "name", None) or repr(task)
+
+
+def _check_spawn_safe(task: object) -> None:
     """Fail fast (and clearly) on payloads a spawned worker can't load."""
     try:
         pickle.dumps(task)
     except Exception as exc:
         raise SimulationError(
-            f"sweep task {task.benchmark}/{task.mode.value} is not "
+            f"sweep task {_task_label(task)} is not "
             f"spawn-safe ({type(exc).__name__}: {exc}); parallel sweeps "
             f"require picklable payloads — in particular run_fn must be "
             f"a module-level function, not a lambda or closure"
@@ -85,18 +109,24 @@ class ParallelSweepExecutor:
         self.start_method = start_method
 
     def map_tasks(
-        self, tasks: Iterable[Tuple[int, SweepTask]]
-    ) -> Iterator[Tuple[int, SweepRow]]:
+        self,
+        tasks: Iterable[Tuple[int, object]],
+        run_fn: Callable[[Any], Any] = execute_sweep_task,
+    ) -> Iterator[Tuple[int, Any]]:
         """Execute every task; yield ``(index, row)`` as each finishes.
 
-        A worker whose simulation fails still yields a failure row
-        (see :func:`~repro.experiments.runner.execute_sweep_task`);
-        only infrastructure-level errors — an unpicklable payload, a
-        dead worker process — propagate as exceptions.
+        ``run_fn`` (default :func:`~repro.experiments.runner.
+        execute_sweep_task`) runs in the worker and must be a
+        module-level function so it pickles under spawn.  A worker
+        whose simulation fails still yields a failure row (see
+        :func:`~repro.experiments.runner.execute_sweep_task`); only
+        infrastructure-level errors — an unpicklable payload, a dead
+        worker process — propagate as exceptions.
         """
-        items: List[Tuple[int, SweepTask]] = list(tasks)
+        items: List[Tuple[int, object]] = list(tasks)
         if not items:
             return
+        _check_spawn_safe(run_fn)
         for _index, task in items:
             _check_spawn_safe(task)
         context = multiprocessing.get_context(self.start_method)
@@ -110,7 +140,7 @@ class ParallelSweepExecutor:
                     index, task = next(queue)
                 except StopIteration:
                     return False
-                in_flight[pool.submit(execute_sweep_task, task)] = index
+                in_flight[pool.submit(run_fn, task)] = index
                 return True
 
             for _ in range(min(self.max_in_flight, len(items))):
@@ -123,10 +153,14 @@ class ParallelSweepExecutor:
                     submit_next()
                     yield index, future.result()
 
-    def run_tasks(self, tasks: Iterable[SweepTask]) -> List[SweepRow]:
+    def run_tasks(
+        self,
+        tasks: Iterable[object],
+        run_fn: Callable[[Any], Any] = execute_sweep_task,
+    ) -> List[Any]:
         """Convenience: run a plain task list, rows in task order."""
         indexed = list(enumerate(tasks))
-        rows: List[Optional[SweepRow]] = [None] * len(indexed)
-        for index, row in self.map_tasks(indexed):
+        rows: List[Optional[Any]] = [None] * len(indexed)
+        for index, row in self.map_tasks(indexed, run_fn):
             rows[index] = row
         return [row for row in rows if row is not None]

@@ -2,7 +2,7 @@
 
 The cache key (:meth:`repro.serve.protocol.Submission.cache_key`)
 already folds in everything that can change an answer, so a hit is
-always safe to serve.  Two layers:
+always safe to serve.  Three layers:
 
 - :class:`ResultCache` — a bounded LRU of finished results.  Purely
   in-memory: results are cheap to recompute and the durable record of
@@ -12,6 +12,13 @@ always safe to serve.  Two layers:
   instead of burning a worker each.  :meth:`ResultCache.claim` returns
   either a finished result, the job id already computing this key, or
   a fresh claim for the caller to fulfil.
+- Region tier (:attr:`ResultCache.regions`) — a
+  :class:`~repro.analysis.summaries.SummaryCache` of per-program
+  CFG/loop summaries keyed on canonical content hashes.  Where the
+  result cache needs the *whole submission* to match, the region tier
+  hits whenever the submitted code matches — across names, secret
+  sets, and budgets — so a near-miss submission still skips the
+  summary analysis inside the certifier.
 
 Thread-safety: the server only touches the cache from the event-loop
 thread, but a lock is kept anyway so the engine can be reused from
@@ -23,6 +30,8 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional
+
+from ..analysis.summaries import SummaryCache
 
 
 @dataclass
@@ -68,7 +77,9 @@ class Claim:
 class ResultCache:
     """Bounded LRU result cache + single-flight registry."""
 
-    def __init__(self, capacity: int = 1024) -> None:
+    def __init__(self, capacity: int = 1024,
+                 region_capacity: int = 4096,
+                 summary_cache_path: Optional[str] = None) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
         self.capacity = capacity
@@ -77,6 +88,11 @@ class ResultCache:
         self._results: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
         #: key -> job id of the in-flight computation (the "leader").
         self._inflight: Dict[str, str] = {}
+        #: Region-granular summary tier; hand this to the engine so
+        #: certification jobs share it.  ``summary_cache_path``
+        #: additionally persists it across daemon restarts.
+        self.regions = SummaryCache(path=summary_cache_path,
+                                    capacity=region_capacity)
 
     # ---- plain cache ------------------------------------------------------
 

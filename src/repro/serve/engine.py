@@ -36,8 +36,9 @@ import time
 import traceback
 from typing import Callable, Dict, Optional
 
+from ..analysis.summaries import SummaryCache, compute_program_summaries
 from ..analysis.symx import certify_program
-from ..analysis.taint import analyze_program
+from ..analysis.taint import DEFAULT_WINDOW, analyze_program
 from ..analysis.valueset import refine_report
 from ..core.policy import SecurityConfig
 from ..errors import DeadlockError, SimulationError
@@ -66,11 +67,19 @@ class AnalysisEngine:
         default_wall_clock: float = DEFAULT_WALL_CLOCK,
         default_max_cycles: int = DEFAULT_MAX_CYCLES,
         default_watchdog_cycles: int = DEFAULT_WATCHDOG_CYCLES,
+        summary_cache: Optional[SummaryCache] = None,
     ) -> None:
         self.machine = machine or preset("tiny")
         self.default_wall_clock = default_wall_clock
         self.default_max_cycles = default_max_cycles
         self.default_watchdog_cycles = default_watchdog_cycles
+        #: Region-granular summary tier (shared with the server's
+        #: result cache): repeated submissions of the same code skip
+        #: the CFG/loop analysis entirely — the summaries are keyed on
+        #: canonical content hashes, so even differently-named
+        #: submissions of identical programs hit.
+        self.summary_cache = summary_cache if summary_cache is not None \
+            else SummaryCache()
 
     # ---- entry point ------------------------------------------------------
 
@@ -164,9 +173,12 @@ class AnalysisEngine:
         if tier is Tier.TAINT:
             return result
 
+        summaries = compute_program_summaries(
+            program, window=DEFAULT_WINDOW, cache=self.summary_cache)
         refined = refine_report(
             program, taint_report,
             secret_words=submission.secret_words,
+            summaries=summaries,
         )
         result["valueset"] = refined.to_dict()
         result["tier_answered"] = Tier.VALUESET.value
@@ -213,6 +225,7 @@ class AnalysisEngine:
             "wall_clock_budget": remaining,
             "cancel_check": self._cancel_check(cancel),
             "replay": False,
+            "summaries": summaries,
         }
         if budgets.max_steps is not None:
             certify_kwargs["max_steps"] = budgets.max_steps
@@ -232,6 +245,10 @@ class AnalysisEngine:
             "steps": certified.steps,
             "truncated": certified.truncated,
             "warnings": [dict(w) for w in certified.warnings],
+            "merged_paths": certified.merged_paths,
+            "summarized_loops": certified.summarized_loops,
+            "accelerated_loops": certified.accelerated_loops,
+            "summary_cache_hit": summaries.cache_hit,
         }
 
         if out_of_time:
@@ -330,10 +347,14 @@ def strip_timing(result: Dict[str, object]) -> Dict[str, object]:
     symx = cleaned.get("symx")
     if isinstance(symx, dict):
         # Path/step counts under a *wall-clock* truncation are timing-
-        # dependent; verdict and provenance are not.
+        # dependent; verdict and provenance are not.  The summary-
+        # cache hit flag depends on what ran before this job (a
+        # resumed run hits where the original missed), so it is
+        # timing-like too.
         trimmed = dict(symx)
         if trimmed.get("truncated"):
             trimmed.pop("paths", None)
             trimmed.pop("steps", None)
+        trimmed.pop("summary_cache_hit", None)
         cleaned["symx"] = trimmed
     return cleaned

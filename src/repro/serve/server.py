@@ -107,13 +107,14 @@ class ReproServer:
 
     def __init__(self, config: Optional[ServeConfig] = None) -> None:
         self.config = config or ServeConfig()
+        self.cache = ResultCache(self.config.cache_capacity)
         self.engine = AnalysisEngine(
             machine=self.config.machine_params(),
             default_wall_clock=self.config.default_wall_clock,
             default_max_cycles=self.config.default_max_cycles,
             default_watchdog_cycles=self.config.default_watchdog_cycles,
+            summary_cache=self.cache.regions,
         )
-        self.cache = ResultCache(self.config.cache_capacity)
         self.admission = AdmissionController(
             rate=self.config.rate,
             burst=self.config.burst,
@@ -363,6 +364,7 @@ class ReproServer:
         return {
             "server": self.stats.to_dict(),
             "cache": self.cache.stats.to_dict(),
+            "region_cache": self.cache.regions.stats.to_dict(),
             "admission": self.admission.stats.to_dict(),
             "jobs": by_state,
             "queue_depth": self._queue.qsize(),

@@ -163,7 +163,7 @@ class TestAnalyzeCommand:
         assert produced.pop("name").endswith("gadget.s")
         golden.pop("name")
         assert produced == golden
-        assert produced["schema_version"] == SCHEMA_VERSION == 3
+        assert produced["schema_version"] == SCHEMA_VERSION == 4
 
     def test_analyze_corpus_spec(self, capsys):
         code = main(["analyze", "corpus:v1"])
@@ -215,12 +215,17 @@ class TestAnalyzeCommand:
         assert code == 0
         assert "LEAKY" in out
         doc = json.loads(out_json.read_text())
-        assert doc["schema_version"] == 3
+        assert doc["schema_version"] == 4
         assert doc["certify"]["verdict"] == "LEAKY"
         certificates = [f["certificate"] for f in doc["findings"]
                         if "certificate" in f]
         assert certificates
         assert any(c["verdict"] == "LEAKY" for c in certificates)
+        # v4: every certificate carries its summary provenance
+        assert all("summary" in c for c in certificates)
+        summary = certificates[0]["summary"]
+        assert set(summary) == {"merged_paths", "summarized_loops",
+                                "accelerated_loops", "summary_cache_hit"}
 
 
 class TestCertifyCommand:

@@ -131,6 +131,59 @@ class TestBenchHarness:
         assert any("diverged" in p
                    for p in check_regression(diverged, baseline))
 
+    def test_should_raise_floor_ratchet(self):
+        from repro.perf.bench import should_raise_floor
+
+        def run(ips, deterministic=True, failures=0):
+            return BenchResult(machine="paper", scale=1.0,
+                               benchmarks=["bzip2"], modes=["origin"],
+                               workers=2, instructions_per_sec=ips,
+                               deterministic=deterministic,
+                               failures=failures)
+
+        baseline = run(10_000)
+        # >10% improvement raises the floor; anything at or below the
+        # margin is treated as noise
+        assert should_raise_floor(run(11_001), baseline)
+        assert not should_raise_floor(run(11_000), baseline)
+        assert not should_raise_floor(run(10_500), baseline)
+        assert not should_raise_floor(run(9_000), baseline)
+        # a fast-but-broken run never becomes the new bar
+        assert not should_raise_floor(run(20_000, deterministic=False),
+                                      baseline)
+        assert not should_raise_floor(run(20_000, failures=1), baseline)
+
+    def test_bench_tool_raise_floor_rewrites_baseline(self, tmp_path):
+        import importlib.util
+        import pathlib
+
+        tool_path = (pathlib.Path(__file__).parent.parent
+                     / "tools" / "bench.py")
+        spec = importlib.util.spec_from_file_location("bench_tool",
+                                                      tool_path)
+        bench_tool = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(bench_tool)
+
+        out = str(tmp_path / "BENCH_sweep.json")
+        baseline = str(tmp_path / "BENCH_baseline.json")
+        # seed an artificially slow baseline, then --check --raise-floor
+        # must ratchet it up to the measured run
+        slow = BenchResult(machine="paper", scale=SCALE,
+                           benchmarks=["bzip2"], modes=["origin"],
+                           workers=1, instructions_per_sec=1.0,
+                           rows=4, deterministic=True)
+        write_bench_json(slow, baseline)
+        code = bench_tool.main(["--benchmarks", "bzip2",
+                                "--scale", str(SCALE), "--serial-only",
+                                "--out", out, "--baseline", baseline,
+                                "--check", "--raise-floor"])
+        assert code == 0
+        raised = load_bench_json(baseline)
+        assert raised.instructions_per_sec > 1.0
+        measured = load_bench_json(out)
+        assert raised.instructions_per_sec == \
+            measured.instructions_per_sec
+
     def test_cli_bench_suite(self, tmp_path, capsys):
         out = str(tmp_path / "BENCH_sweep.json")
         code = cli_main(["bench", "--suite", "bzip2",

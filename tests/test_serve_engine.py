@@ -170,3 +170,16 @@ class TestStripTiming:
         first = engine.execute(submit(body))
         second = engine.execute(submit(body))
         assert strip_timing(first) == strip_timing(second)
+
+
+class TestRegionCache:
+    def test_repeat_certification_hits_summary_cache(self):
+        fresh = AnalysisEngine()
+        body = {"spec": "corpus:v1", "tier": "symx"}
+        first = fresh.execute(submit(body))
+        second = fresh.execute(submit(body))
+        assert first["symx"]["summary_cache_hit"] is False
+        assert second["symx"]["summary_cache_hit"] is True
+        # The hit changes nothing observable but the flag itself.
+        assert strip_timing(first) == strip_timing(second)
+        assert fresh.summary_cache.stats.hits >= 1

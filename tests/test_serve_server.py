@@ -131,6 +131,17 @@ class TestBackgroundJobs:
         assert view.payload["state"] == "done"
         server.shutdown()
 
+    def test_stats_reports_region_cache(self, harness):
+        server = harness()
+        client = server.client()
+        response = client.submit({"spec": "corpus:v1", "tier": "symx"})
+        client.wait(response.payload["job_id"], timeout=60)
+        stats = client.request("GET", "/v1/stats")
+        assert stats.status == 200
+        region = stats.payload["region_cache"]
+        assert region["stores"] >= 1
+        server.shutdown()
+
     def test_concurrent_duplicates_coalesce(self, harness):
         server = harness(workers=1)
         client = server.client()

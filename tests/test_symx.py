@@ -372,16 +372,21 @@ class TestCertificates:
         assert leaky and all("witness" in b and "replay" in b
                              for b in leaky)
 
-    def test_report_v3_embeds_certificates(self):
+    def test_report_v4_embeds_certificates(self):
         program = build_corpus_variant("v1", "unsafe")
         report = analyze_program(program, name="v1-unsafe")
         result = certify_program(program, secret_words=SECRETS,
                                  replay=False, name="v1-unsafe")
         document = report.to_dict(
             certificates=finding_certificates(result, report))
-        assert document["schema_version"] == 3
+        assert document["schema_version"] == 4
         assert all("certificate" in entry
                    for entry in document["findings"])
+        for entry in document["findings"]:
+            summary = entry["certificate"]["summary"]
+            assert set(summary) == {"merged_paths", "summarized_loops",
+                                    "accelerated_loops",
+                                    "summary_cache_hit"}
 
     def test_report_from_dict_accepts_v2_documents(self):
         report = analyze_program(build_corpus_variant("v1", "unsafe"),

@@ -323,3 +323,129 @@ class TestCorpusPrecision:
         text = precision.render()
         assert "precision" in text
         assert "masked" in text
+
+
+class TestAcceleratedWidening:
+    """Regression pins for induction-variable acceleration: counter
+    loops the plain widening fixpoint blows to TOP must converge to
+    finite strided intervals once the summary caps are met in, and
+    the refutations earned that way must carry the ``accelerated``
+    reason."""
+
+    WINDOW = 64
+    BOUND = 4
+
+    def _counter_program(self, triangular=False):
+        from repro.analysis.valueset import WORD_BYTES
+
+        base = 0x6000
+        b = ProgramBuilder()
+        # Cover every capped index: the cap adds (window + 1) * step
+        # of speculative overshoot per loop level.
+        words = self.BOUND + 2 * (self.WINDOW + 1) + 8
+        for i in range(words):
+            b.data_word(base + WORD_BYTES * i, i)
+        b.li(5, base)
+        b.li(9, self.BOUND)
+        b.li(1, 0)                     # outer counter
+        b.label("outer")
+        b.li(2, 0)                     # inner counter
+        b.label("inner")
+        b.shli(3, 2, 3)
+        b.add(4, 5, 3)
+        b.load(6, 4, note="counter-indexed load")
+        b.andi(7, 6, 7)
+        b.shli(7, 7, 3)
+        b.add(8, 5, 7)
+        b.load(10, 8, note="transmit")
+        b.addi(2, 2, 1)
+        if triangular:
+            b.blt(2, 1, "inner")       # inner bound = outer counter
+        else:
+            b.blt(2, 9, "inner")
+        b.addi(1, 1, 1)
+        b.blt(1, 9, "outer")
+        b.halt()
+        return b.build()
+
+    def _caps(self, program):
+        from repro.analysis.summaries import summarize_program
+
+        summaries = summarize_program(program, window=self.WINDOW)
+        return summaries, summaries.induction_caps()
+
+    def test_nested_counter_loops_converge(self):
+        program = self._counter_program()
+        load_pc = next(addr for addr, instr in program.iter_addressed()
+                       if instr.note == "counter-indexed load")
+        plain = compute_value_sets(program)
+        widened = plain.state_before(load_pc).value_of(2)
+        assert widened.is_top or widened.hi == U64_MAX
+
+        summaries, caps = self._caps(program)
+        assert set(caps) == {1, 2}, "both counters must be recognized"
+        expected_hi = self.BOUND + (self.WINDOW + 1)
+        assert caps[2] == interval(0, expected_hi, 1)
+        accel = compute_value_sets(program, caps=caps)
+        for reg in (1, 2):
+            value = accel.state_before(load_pc).value_of(reg)
+            assert value.is_bounded
+            assert value.hi == expected_hi
+        address = accel.state_before(load_pc).value_of(4)
+        assert address == interval(0x6000, 0x6000 + 8 * expected_hi, 8)
+
+    def test_triangular_counter_loops_converge(self):
+        # The inner bound *is* the outer counter; only the outer cap
+        # makes the inner one derivable.
+        program = self._counter_program(triangular=True)
+        load_pc = next(addr for addr, instr in program.iter_addressed()
+                       if instr.note == "counter-indexed load")
+        summaries, caps = self._caps(program)
+        assert set(caps) == {1, 2}
+        outer_hi = self.BOUND + (self.WINDOW + 1)
+        assert caps[1].hi == outer_hi
+        assert caps[2].hi == outer_hi + (self.WINDOW + 1)
+        accel = compute_value_sets(program, caps=caps)
+        value = accel.state_before(load_pc).value_of(2)
+        assert value.is_bounded and value.hi == caps[2].hi
+
+    def test_accelerated_refutation_reason_pinned(self):
+        program = self._counter_program()
+        report = analyze_program(program, window=self.WINDOW,
+                                 name="nested-counters")
+        assert report.findings
+        plain = refine_report(program, report)
+        assert plain.confirmed, \
+            "plain widening must fail so acceleration has work to do"
+
+        summaries, _caps = self._caps(program)
+        accelerated = refine_report(program, report,
+                                    summaries=summaries)
+        assert not accelerated.confirmed
+        assert accelerated.accelerated_count >= 1
+        reasons = {r.refutation.reason for r in accelerated.refuted}
+        assert "accelerated" in reasons
+        pinned = [r for r in accelerated.refuted
+                  if r.refutation.reason == "accelerated"]
+        for refuted in pinned:
+            assert "induction caps" in refuted.refutation.detail
+            assert refuted.refutation.bounds
+        assert accelerated.to_dict()["accelerated"] == len(pinned)
+
+    def test_acceleration_never_unrefutes(self):
+        # caps only *add* information: anything the plain pass refutes
+        # stays refuted, with the original (stronger) reason
+        program = build_corpus_variant("v1", "masked")
+        report = analyze_program(program, name="v1-masked")
+        plain = refine_report(program, report,
+                              secret_words=corpus_secret_words())
+        from repro.analysis.summaries import summarize_program
+        from repro.analysis.taint import DEFAULT_WINDOW
+
+        summaries = summarize_program(program, window=DEFAULT_WINDOW)
+        accel = refine_report(program, report,
+                              secret_words=corpus_secret_words(),
+                              summaries=summaries)
+        assert {r.finding.sink_pc for r in accel.refuted} >= \
+            {r.finding.sink_pc for r in plain.refuted}
+        assert len(accel.confirmed) <= len(plain.confirmed)

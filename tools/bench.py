@@ -14,7 +14,10 @@ and optionally enforces the committed regression baseline::
 ``benchmarks/BENCH_baseline.json`` (written with ``--write-baseline``
 on a comparable machine) and exits non-zero when throughput drops more
 than ``--tolerance`` (default 20%), when the parallel pass loses
-determinism, or when sweep failures appear.
+determinism, or when sweep failures appear.  ``--check --raise-floor``
+additionally ratchets the committed baseline upward: a clean run that
+beats it by more than 10% rewrites the file, so the floor tracks real
+speedups without churning on noise.
 """
 import argparse
 import os
@@ -23,9 +26,11 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.perf.bench import (  # noqa: E402
+    RAISE_FLOOR_MARGIN,
     check_regression,
     load_bench_json,
     run_bench,
+    should_raise_floor,
     write_bench_json,
 )
 
@@ -66,6 +71,10 @@ def main(argv=None) -> int:
                              "(default 0.2 = 20%%)")
     parser.add_argument("--write-baseline", action="store_true",
                         help="record this run as the new baseline")
+    parser.add_argument("--raise-floor", action="store_true",
+                        help="with --check: rewrite the baseline when "
+                             "this (clean) run beats it by more than "
+                             f"{RAISE_FLOOR_MARGIN:.0%} (ratchet)")
     args = parser.parse_args(argv)
 
     benchmarks = args.benchmarks
@@ -105,6 +114,13 @@ def main(argv=None) -> int:
             return 1
         print(f"bench: within {args.tolerance:.0%} of baseline "
               f"({baseline.instructions_per_sec:,.0f} instructions/s)")
+        if args.raise_floor and should_raise_floor(result, baseline):
+            write_bench_json(result, args.baseline)
+            print(f"bench: raised floor "
+                  f"{baseline.instructions_per_sec:,.0f} -> "
+                  f"{result.instructions_per_sec:,.0f} instructions/s "
+                  f"(> {RAISE_FLOOR_MARGIN:.0%} improvement); "
+                  f"rewrote {args.baseline}")
     return 0
 
 

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Static-precision ratchet (CI entry point).
+
+Runs the three-tier precision study (taint -> +valueset -> +symx) over
+the gadget corpus and the SPEC-like workloads and enforces the
+committed baseline ``benchmarks/BENCH_precision.json``::
+
+    python tools/precision_smoke.py                  # run + check
+    python tools/precision_smoke.py --write-baseline # record new floor
+
+The check fails (exit 1) when any of these regress against the
+baseline:
+
+- the certifier's program-level ``UNKNOWN`` count **rises** — loop
+  summarization/path merging resolved these rows once; they must not
+  quietly come back;
+- any corpus or ingested row's symbolic **verdict changes** — the
+  labelled gadgets are ground truth, so a flipped verdict is a
+  soundness bug, not a precision tradeoff;
+- the symx tier stops being **strictly stronger** than taint+valueset.
+
+``--raise-floor`` makes the ratchet self-tightening: a clean run whose
+UNKNOWN count is *lower* than the baseline rewrites the file, so the
+floor tracks genuine precision gains.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments.precision_study import (  # noqa: E402
+    PrecisionStudyResult,
+    run_precision_study,
+)
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "benchmarks",
+                                "BENCH_precision.json")
+BASELINE_FORMAT = "repro-precision-baseline"
+
+#: Labelled groups whose verdicts are pinned verbatim.
+PINNED_GROUPS = ("corpus", "ingested")
+
+
+def baseline_payload(result: PrecisionStudyResult) -> dict:
+    """The committed shape: enough to ratchet, nothing volatile."""
+    document = result.to_dict()
+    return {
+        "format": BASELINE_FORMAT,
+        "window": document["window"],
+        "scale": document["scale"],
+        "unknown_count": document["unknown_count"],
+        "resolved_by_tier": document["resolved_by_tier"],
+        "symx_strictly_stronger": document["symx_strictly_stronger"],
+        "summaries": document["summaries"],
+        "verdicts": {
+            row["name"]: row["verdict"]
+            for row in document["rows"]
+            if row["group"] in PINNED_GROUPS
+        },
+        "spec_verdicts": {
+            row["name"]: row["verdict"]
+            for row in document["rows"]
+            if row["group"] == "spec"
+        },
+    }
+
+
+def check(result: PrecisionStudyResult, baseline: dict) -> list:
+    """Ratchet verdict: list of problems (empty = pass)."""
+    problems = []
+    current = baseline_payload(result)
+    if current["unknown_count"] > baseline["unknown_count"]:
+        problems.append(
+            f"UNKNOWN count rose: {current['unknown_count']} > "
+            f"baseline {baseline['unknown_count']}"
+        )
+    for name, verdict in sorted(baseline["verdicts"].items()):
+        got = current["verdicts"].get(name)
+        if got is None:
+            problems.append(f"pinned corpus row vanished: {name}")
+        elif got != verdict:
+            problems.append(
+                f"corpus verdict changed: {name} {verdict} -> {got}"
+            )
+    if not current["symx_strictly_stronger"]:
+        problems.append("symx tier no longer strictly stronger than "
+                        "taint+valueset")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--benchmarks", nargs="*", default=None,
+                        help="SPEC-like subset (default: all)")
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="SPEC workload scale (default 0.1, the "
+                             "study default the baseline was recorded "
+                             "at)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="fan rows across N worker processes")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="baseline path (default benchmarks/"
+                             "BENCH_precision.json)")
+    parser.add_argument("--out", default=None,
+                        help="also dump the full study table as JSON")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="record this run as the new baseline")
+    parser.add_argument("--raise-floor", action="store_true",
+                        help="rewrite the baseline when this clean run "
+                             "lowers the UNKNOWN count (ratchet)")
+    args = parser.parse_args(argv)
+
+    result = run_precision_study(benchmarks=args.benchmarks,
+                                 scale=args.scale, workers=args.workers)
+    print(result.render())
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=1, sort_keys=True)
+        print(f"wrote {args.out}")
+
+    payload = baseline_payload(result)
+    if args.write_baseline:
+        os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+        with open(args.baseline, "w") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote baseline {args.baseline}")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print(f"precision: no baseline at {args.baseline}; run "
+              f"tools/precision_smoke.py --write-baseline first",
+              file=sys.stderr)
+        return 2
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    if baseline.get("format") != BASELINE_FORMAT:
+        print(f"precision: {args.baseline} is not a precision baseline "
+              f"(format={baseline.get('format')!r})", file=sys.stderr)
+        return 2
+
+    problems = check(result, baseline)
+    for problem in problems:
+        print(f"precision REGRESSION: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    print(f"precision: UNKNOWN count {payload['unknown_count']} <= "
+          f"baseline {baseline['unknown_count']}; "
+          f"{len(baseline['verdicts'])} pinned verdict(s) unchanged")
+    if args.raise_floor and \
+            payload["unknown_count"] < baseline["unknown_count"]:
+        with open(args.baseline, "w") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"precision: raised floor — UNKNOWN count "
+              f"{baseline['unknown_count']} -> "
+              f"{payload['unknown_count']}; rewrote {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
