@@ -17,7 +17,7 @@ class AttackResult:
     """Outcome of one attack simulation."""
 
     name: str
-    mode: str
+    mode: str  # defense name (legacy field name kept for compatibility)
     secret: int
     recovered: Optional[int]
     leaked: bool
@@ -69,7 +69,7 @@ def run_attack(
     verdict = attack.channel.decode(timings, exclude=attack.exclude)
     return AttackResult(
         name=attack.name,
-        mode=security.mode.value,
+        mode=security.defense_name,
         secret=attack.layout.secret_value,
         recovered=verdict.recovered,
         leaked=verdict.leaked,

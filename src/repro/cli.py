@@ -67,6 +67,7 @@ from .experiments import (
     run_experiment,
     run_modes,
 )
+from .experiments.shootout import ATTACK_SUITE
 from .experiments.area_study import render_area_study
 from .isa import assemble
 from .config_io import load_machine
@@ -95,7 +96,13 @@ _ATTACKS = {
 
 
 def _security(mode_name: str) -> SecurityConfig:
-    return SecurityConfig(mode=ProtectionMode(mode_name))
+    return SecurityConfig.for_defense(mode_name)
+
+
+def _mode_choices() -> List[str]:
+    """Every registered defense name plus its accepted aliases."""
+    from .core.defense import DEFENSE_ALIASES, defense_names
+    return [*defense_names(), *DEFENSE_ALIASES]
 
 
 def _add_machine_arg(parser: argparse.ArgumentParser) -> None:
@@ -116,8 +123,8 @@ def _machine(args: argparse.Namespace):
 
 def _add_mode_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--mode", default="cache_hit_tpbuf",
-                        choices=[m.value for m in EVALUATION_MODES],
-                        help="protection mode")
+                        choices=_mode_choices(),
+                        help="defense (registered name or alias)")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -399,8 +406,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from .robustness import FaultPlan
 
     machine = _machine(args)
-    modes = [ProtectionMode(name) for name in args.modes] \
-        if args.modes else list(EVALUATION_MODES)
+    modes = list(args.modes) if args.modes else list(EVALUATION_MODES)
     fault_plan = None
     if args.inject:
         fault_plan = FaultPlan.moderate(seed=args.fault_seed)
@@ -419,13 +425,34 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     result = engine.run(
         progress=lambda row: print(
-            f"  {row.benchmark}/{row.mode.value}: {row.status} "
+            f"  {row.benchmark}/{row.defense_name}: {row.status} "
             f"({row.cycles} cycles, {row.attempts} attempt(s))",
             file=sys.stderr,
         )
     )
     print(result.render())
     return 0 if not result.failures else 1
+
+
+def _cmd_shootout(args: argparse.Namespace) -> int:
+    from .experiments.shootout import print_progress, \
+        run_defense_shootout
+
+    result = run_defense_shootout(
+        defenses=args.defenses or None,
+        attacks=args.attacks or None,
+        benchmarks=args.benchmarks or None,
+        machine=_machine(args),
+        scale=args.scale,
+        trials=args.trials,
+        evolve=not args.no_evolve,
+        evolve_generations=args.generations,
+        seed=args.seed,
+        progress=None if args.quiet else print_progress,
+    )
+    print(result.render())
+    _write_json(args.json, result.to_dict())
+    return 0
 
 
 def _cmd_fence(args: argparse.Namespace) -> int:
@@ -554,9 +581,11 @@ def _write_json(path: Optional[str], payload: object) -> None:
 def _cmd_fuzz_diff(args: argparse.Namespace) -> int:
     from pathlib import Path
 
+    from .core.defense import normalize_defense_name
     from .fuzz import (ALL_MODES, case_seed, differential_check,
                        generate_program, run_diff_campaign)
-    modes = tuple(args.modes) if args.modes else ALL_MODES
+    modes = tuple(normalize_defense_name(m) for m in args.modes) \
+        if args.modes else ALL_MODES
     config = _fuzz_generator_config(args, secret=False)
     machine = _machine(args)
     if args.only is not None:
@@ -630,8 +659,10 @@ def _cmd_fuzz_evolve(args: argparse.Namespace) -> int:
     from .analysis.corpus import (IngestedGadget,
                                   register_ingested_gadget)
     from .analysis.verify import corpus_precision
+    from .core.defense import normalize_defense_name
     from .fuzz import ALL_MODES, run_evolve_campaign
-    modes = tuple(args.modes) if args.modes else ALL_MODES
+    modes = tuple(normalize_defense_name(m) for m in args.modes) \
+        if args.modes else ALL_MODES
     result, survivors = run_evolve_campaign(
         args.seed,
         modes=modes,
@@ -891,8 +922,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("benchmarks", nargs="*",
                          help="benchmark subset (default: all)")
     p_sweep.add_argument("--modes", nargs="*", default=None,
-                         choices=[m.value for m in EVALUATION_MODES],
-                         help="protection modes (default: all four)")
+                         choices=_mode_choices(),
+                         help="defenses (default: the paper's four "
+                              "modes; any registered zoo name works)")
     p_sweep.add_argument("--scale", type=float, default=1.0)
     p_sweep.add_argument("--max-cycles", type=int, default=None)
     p_sweep.add_argument("--wall-clock-budget", type=float, default=None,
@@ -914,6 +946,38 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fault-injection seed (default 0)")
     _add_machine_arg(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_shoot = sub.add_parser(
+        "shootout",
+        help="defense zoo shootout: attack suite x SPEC overhead x "
+             "area frontier over every registered defense "
+             "(docs/defenses.md)",
+    )
+    p_shoot.add_argument("benchmarks", nargs="*",
+                         help="SPEC subset (default: all profiles)")
+    p_shoot.add_argument("--defenses", nargs="*", default=None,
+                         choices=_mode_choices(),
+                         help="defense subset (default: whole zoo; "
+                              "origin is always included)")
+    p_shoot.add_argument("--attacks", nargs="*", default=None,
+                         choices=list(ATTACK_SUITE),
+                         help="attack subset (default: all five)")
+    p_shoot.add_argument("--scale", type=float, default=0.05,
+                         help="SPEC profile scale (default 0.05)")
+    p_shoot.add_argument("--trials", type=int, default=3,
+                         help="secrets swept per attack (default 3)")
+    p_shoot.add_argument("--no-evolve", action="store_true",
+                         help="skip the adversarial evolve leg")
+    p_shoot.add_argument("--generations", type=int, default=4,
+                         help="evolve generations (default 4)")
+    p_shoot.add_argument("--seed", default="shootout",
+                         help="evolve RNG seed (default: shootout)")
+    p_shoot.add_argument("--quiet", action="store_true",
+                         help="suppress per-leg progress on stderr")
+    p_shoot.add_argument("--json", default=None,
+                         help="write the frontier as JSON")
+    _add_machine_arg(p_shoot)
+    p_shoot.set_defaults(func=_cmd_shootout)
 
     p_fuzz = sub.add_parser(
         "fuzz",
@@ -945,9 +1009,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_fdiff.add_argument("--count", type=int, default=500,
                          help="programs to generate (default 500)")
     p_fdiff.add_argument("--modes", nargs="*", default=None,
-                         choices=["origin", "baseline", "cache_hit",
-                                  "cache_hit_tpbuf"],
-                         help="protection modes (default: all four)")
+                         choices=_mode_choices(),
+                         help="defenses (default: the paper's four "
+                              "modes)")
     p_fdiff.add_argument("--checkpoint", default=None,
                          help="JSONL campaign checkpoint")
     p_fdiff.add_argument("--no-resume", action="store_true",
@@ -980,9 +1044,9 @@ def build_parser() -> argparse.ArgumentParser:
              "verified survivors extend the analysis corpus")
     _fuzz_common(p_fev)
     p_fev.add_argument("--modes", nargs="*", default=None,
-                       choices=["origin", "baseline", "cache_hit",
-                                "cache_hit_tpbuf"],
-                       help="protection modes (default: all four)")
+                       choices=_mode_choices(),
+                       help="defenses (default: the paper's four "
+                            "modes)")
     p_fev.add_argument("--generated-seeds", type=int, default=2,
                        help="leaky generated seed programs (default 2)")
     p_fev.add_argument("--generations", type=int, default=6)

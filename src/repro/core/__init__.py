@@ -1,6 +1,8 @@
 """Conditional Speculation: the paper's primary contribution.
 
 - :mod:`policy` - protection modes and the knobs of the mechanism.
+- :mod:`defense` - the pluggable :class:`Defense` strategy interface
+  and the registered defense zoo (paper modes + literature schemes).
 - :mod:`security_matrix` - the NxN security dependence matrix that
   lives in the issue queue (Section V.B).
 - :mod:`tpbuf` - the Trusted Page Buffer and S-Pattern detection
@@ -12,6 +14,16 @@
   paper's RTL synthesis (Section VI.E).
 """
 from .policy import ProtectionMode, SecurityConfig
+from .defense import (
+    DEFENSE_REGISTRY,
+    Defense,
+    DefenseConfigError,
+    create_defense,
+    defense_for_config,
+    defense_names,
+    normalize_defense_name,
+    register_defense,
+)
 from .security_matrix import SecurityDependenceMatrix
 from .tpbuf import TPBuf, TPBufEntry
 from .filters import HazardFilters, MissVerdict
@@ -19,6 +31,7 @@ from .icache_filter import ICacheHitFilter
 from .area_model import (
     AreaReport,
     cache_area_mm2,
+    comparator_area_mm2,
     matrix_area_mm2,
     matrix_timing_penalty,
     tpbuf_area_mm2,
@@ -28,6 +41,14 @@ from .area_model import (
 __all__ = [
     "ProtectionMode",
     "SecurityConfig",
+    "DEFENSE_REGISTRY",
+    "Defense",
+    "DefenseConfigError",
+    "create_defense",
+    "defense_for_config",
+    "defense_names",
+    "normalize_defense_name",
+    "register_defense",
     "SecurityDependenceMatrix",
     "TPBuf",
     "TPBufEntry",
@@ -36,6 +57,7 @@ __all__ = [
     "ICacheHitFilter",
     "AreaReport",
     "cache_area_mm2",
+    "comparator_area_mm2",
     "matrix_area_mm2",
     "matrix_timing_penalty",
     "tpbuf_area_mm2",

@@ -64,6 +64,13 @@ def tpbuf_area_mm2(lsq_entries: int, ppn_bits: int = PPN_BITS) -> float:
     return lsq_entries * bits_per_entry * _CAM_BIT_MM2
 
 
+def comparator_area_mm2(entries: int, bits: int = 16) -> float:
+    """Area of an array of age/tag comparators (CAM-style cells) —
+    the cost model for matrix-free zoo defenses that only compare
+    instruction ages or carry a per-entry taint bit."""
+    return entries * bits * _CAM_BIT_MM2
+
+
 def cache_area_mm2(size_bytes: int, ways: int) -> float:
     """Area of a data cache macro (tag + data arrays)."""
     data_bits = size_bytes * 8

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Optional
 
+from ..errors import DefenseConfigError
 from ..stats import StatGroup
 from .policy import ProtectionMode, SecurityConfig
 from .tpbuf import TPBuf
@@ -28,6 +29,9 @@ class MissVerdict(Enum):
 
     PROCEED = "proceed"   # safe: refill as a normal miss
     BLOCK = "block"       # unsafe: discard the request, re-issue later
+    #: InvisiSpec-style: read memory at miss latency but change no
+    #: cache state; the line is exposed (filled) at commit.
+    INVISIBLE = "invisible"
 
 
 @dataclass
@@ -47,7 +51,10 @@ class HazardFilters:
         self.tpbuf = tpbuf
         self.stats = StatGroup("hazard_filters")
         if config.mode.uses_tpbuf and tpbuf is None:
-            raise ValueError("CACHE_HIT_TPBUF mode requires a TPBuf")
+            raise DefenseConfigError(
+                f"defense '{config.defense_name}' requires a TPBuf but "
+                "none was built"
+            )
 
     def judge_suspect_load(self, l1_hit: bool, lsq_index: int,
                            ppn: int) -> FilterDecision:

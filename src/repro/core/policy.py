@@ -45,9 +45,19 @@ class ProtectionMode(Enum):
 
 @dataclass(frozen=True)
 class SecurityConfig:
-    """All knobs of the Conditional Speculation mechanism."""
+    """All knobs of the Conditional Speculation mechanism.
+
+    The defense itself is referenced *by name* (:attr:`defense`, a
+    ``repro.core.defense`` registry key) so configs stay picklable for
+    spawn-based parallel executors; an empty name means "derive from
+    the legacy :attr:`mode`".  Build zoo configs with
+    :meth:`for_defense` — it anchors :attr:`mode` to the defense's
+    base mode so old records keep deserializing.
+    """
 
     mode: ProtectionMode = ProtectionMode.ORIGIN
+    #: Registry name of the active defense ("" = derive from ``mode``).
+    defense: str = ""
     #: LRU-metadata policy for speculative L1D hits (Section VII.A).
     lru_policy: SpeculativeLRUPolicy = SpeculativeLRUPolicy.NORMAL
     #: Ablation: clear a producer's matrix column when it *resolves*
@@ -59,6 +69,24 @@ class SecurityConfig:
     branch_only_matrix: bool = False
     #: Section VII.B extension: stall unsafe NPC fetches that miss L1I.
     icache_filter: bool = False
+
+    @property
+    def defense_name(self) -> str:
+        """Canonical name of the active defense."""
+        return self.defense or self.mode.value
+
+    @staticmethod
+    def for_defense(name: object, **overrides: object) -> "SecurityConfig":
+        """Registry-driven constructor: a config running the named
+        defense (zoo names, legacy mode spellings and deprecated
+        aliases all accepted)."""
+        from .defense import base_mode_for, normalize_defense_name
+
+        canonical = normalize_defense_name(name)  # type: ignore[arg-type]
+        return SecurityConfig(
+            mode=base_mode_for(canonical), defense=canonical,
+            **overrides,  # type: ignore[arg-type]
+        )
 
     @staticmethod
     def origin() -> "SecurityConfig":
@@ -78,6 +106,8 @@ class SecurityConfig:
 
 
 #: The four evaluation configurations of the paper, in Figure-5 order.
+#: Deprecated for option parsing: enumerate the zoo with
+#: :func:`repro.core.defense.defense_names` instead.
 EVALUATION_MODES = (
     ProtectionMode.ORIGIN,
     ProtectionMode.BASELINE,

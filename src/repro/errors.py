@@ -10,6 +10,17 @@ class ConfigError(SimulationError):
     """A configuration value is inconsistent or out of range."""
 
 
+class DefenseConfigError(ConfigError):
+    """An invalid defense name or defense/config/machine combination.
+
+    Every bad combination — unknown registry name, a defense whose
+    structural requirements the config or machine cannot meet, a
+    software defense asked to run on a pre-built instruction memory —
+    surfaces as this one structured error at
+    :class:`~repro.pipeline.processor.Processor` construction.
+    """
+
+
 class AssemblyError(SimulationError):
     """The assembler rejected a source program."""
 

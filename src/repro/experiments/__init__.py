@@ -24,6 +24,12 @@ from .precision_study import (
     PrecisionStudyResult,
     run_precision_study,
 )
+from .shootout import (
+    ATTACK_SUITE,
+    ShootoutResult,
+    ShootoutRow,
+    run_defense_shootout,
+)
 from .table4 import Table4Result, run_table4, SCENARIOS
 from .table5 import Table5Result, run_table5
 from .table6 import Table6Result, run_table6
@@ -64,6 +70,10 @@ __all__ = [
     "PrecisionRow",
     "PrecisionStudyResult",
     "run_precision_study",
+    "ATTACK_SUITE",
+    "ShootoutResult",
+    "ShootoutRow",
+    "run_defense_shootout",
     "Table4Result",
     "run_table4",
     "SCENARIOS",

@@ -32,6 +32,7 @@ from ..params import MachineParams
 from .fence_study import run_fence_study
 from .figure5 import run_figure5
 from .precision_study import run_precision_study
+from .shootout import run_defense_shootout
 from .lru_study import run_lru_study
 from .table4 import run_table4
 from .table5 import run_table5
@@ -200,6 +201,16 @@ register_experiment(ExperimentSpec(
     supports=("benchmarks", "machine", "scale", "workers"),
     extras=("window", "max_paths", "max_steps", "replay",
             "summary_cache"),
+))
+register_experiment(ExperimentSpec(
+    name="defense_shootout",
+    runner=run_defense_shootout,
+    description="Defense zoo shootout: leaks per attack x SPEC "
+                "overhead x area frontier over every registered "
+                "defense",
+    supports=("benchmarks", "machine", "scale"),
+    extras=("defenses", "attacks", "trials", "evolve",
+            "evolve_generations", "seed", "progress"),
 ))
 register_experiment(ExperimentSpec(
     name="lru_study",

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from zlib import crc32
 
+from ..core.defense import base_mode_for, normalize_defense_name
 from ..core.policy import EVALUATION_MODES, ProtectionMode, SecurityConfig
 from ..errors import SimulationError
 from ..params import (
@@ -165,10 +166,11 @@ RunFn = Callable[..., SimReport]
 
 @dataclass(frozen=True)
 class SweepTask:
-    """Spawn-safe description of one (benchmark, mode) run.
+    """Spawn-safe description of one (benchmark, defense) run.
 
-    Everything here pickles cleanly, so the same payload drives the
-    in-process serial path and the
+    Everything here pickles cleanly — the defense is carried *by
+    registry name* (plus its legacy base mode for old readers) — so
+    the same payload drives the in-process serial path and the
     :class:`repro.perf.parallel.ParallelSweepExecutor` worker
     processes — serial and parallel sweeps execute literally the same
     code on the same inputs, which is what makes them byte-identical.
@@ -176,12 +178,24 @@ class SweepTask:
 
     benchmark: str
     mode: ProtectionMode
+    #: Defense registry name; "" = legacy, derive from ``mode``.
+    defense: str = ""
     machine: Optional[MachineParams] = None
     scale: float = 1.0
     options: RunOptions = RunOptions()
     retries: int = 2
     backoff: float = 0.25
     run_fn: RunFn = run_benchmark
+
+    @property
+    def defense_name(self) -> str:
+        return self.defense or self.mode.value
+
+    @property
+    def security(self) -> SecurityConfig:
+        if self.defense:
+            return SecurityConfig.for_defense(self.defense)
+        return SecurityConfig(mode=self.mode)
 
 
 def execute_sweep_task(task: SweepTask) -> SweepRow:
@@ -202,7 +216,7 @@ def execute_sweep_task(task: SweepTask) -> SweepRow:
             report = task.run_fn(
                 task.benchmark,
                 machine=task.machine,
-                security=SecurityConfig(mode=task.mode),
+                security=task.security,
                 scale=task.scale,
                 options=task.options,
             )
@@ -210,10 +224,11 @@ def execute_sweep_task(task: SweepTask) -> SweepRow:
             if attempts <= task.retries:
                 time.sleep(backoff_delay(
                     task.backoff, attempts,
-                    f"{task.benchmark}/{task.mode.value}"))
+                    f"{task.benchmark}/{task.defense_name}"))
                 continue
             return SweepRow(
-                benchmark=task.benchmark, mode=task.mode, status="failed",
+                benchmark=task.benchmark, mode=task.mode,
+                defense=task.defense, status="failed",
                 termination=getattr(
                     getattr(exc, "report", None), "termination", ""),
                 attempts=attempts,
@@ -222,7 +237,8 @@ def execute_sweep_task(task: SweepTask) -> SweepRow:
                 error=str(exc).splitlines()[0] if str(exc) else "",
             )
         return SweepRow(
-            benchmark=task.benchmark, mode=task.mode, status="ok",
+            benchmark=task.benchmark, mode=task.mode,
+            defense=task.defense, status="ok",
             termination=report.termination,
             cycles=report.cycles, committed=report.committed,
             attempts=attempts,
@@ -233,11 +249,14 @@ def execute_sweep_task(task: SweepTask) -> SweepRow:
 
 @dataclass
 class SweepRow:
-    """Result of one (benchmark, mode) pair — success or failure."""
+    """Result of one (benchmark, defense) pair — success or failure."""
 
     benchmark: str
     mode: ProtectionMode
     status: str                    # "ok" | "failed"
+    #: Defense registry name ("" on legacy rows: the mode *is* the
+    #: defense).
+    defense: str = ""
     termination: str = ""
     cycles: int = 0
     committed: int = 0
@@ -253,10 +272,15 @@ class SweepRow:
     def ok(self) -> bool:
         return self.status == "ok"
 
+    @property
+    def defense_name(self) -> str:
+        return self.defense or self.mode.value
+
     def to_record(self) -> Dict[str, object]:
         record: Dict[str, object] = {
             "benchmark": self.benchmark,
             "mode": self.mode.value,
+            "defense": self.defense_name,
             "status": self.status,
             "termination": self.termination,
             "cycles": self.cycles,
@@ -275,9 +299,12 @@ class SweepRow:
         report = None
         if isinstance(record.get("report"), dict):
             report = SimReport.from_dict(record["report"])  # type: ignore[arg-type]
+        mode = ProtectionMode(record.get("mode"))
+        defense = str(record.get("defense", "") or "")
         return cls(
             benchmark=str(record.get("benchmark", "")),
-            mode=ProtectionMode(record.get("mode")),
+            mode=mode,
+            defense=defense if defense != mode.value else "",
             status=str(record.get("status", "failed")),
             termination=str(record.get("termination", "")),
             cycles=int(record.get("cycles", 0)),
@@ -306,26 +333,41 @@ class SweepResult:
     def resumed(self) -> int:
         return sum(1 for row in self.rows if row.resumed)
 
-    def row(self, benchmark: str, mode: ProtectionMode) \
-            -> Optional[SweepRow]:
+    def row(self, benchmark: str, mode) -> Optional[SweepRow]:
+        """Find a row by legacy mode or by defense name."""
+        if isinstance(mode, ProtectionMode):
+            wanted = mode.value
+        else:
+            wanted = normalize_defense_name(mode)
         for row in self.rows:
-            if row.benchmark == benchmark and row.mode is mode:
+            if row.benchmark == benchmark and row.defense_name == wanted:
                 return row
         return None
 
-    def report_for(self, benchmark: str, mode: ProtectionMode) \
-            -> Optional[SimReport]:
+    def report_for(self, benchmark: str, mode) -> Optional[SimReport]:
         row = self.row(benchmark, mode)
         return row.report if row is not None and row.ok else None
 
     def reports_for(self, benchmark: str) \
             -> Dict[ProtectionMode, SimReport]:
-        """All successful reports of one benchmark, keyed by mode."""
+        """All successful reports of one benchmark, keyed by legacy
+        mode (zoo defenses sharing a base mode overwrite; use
+        :meth:`reports_by_defense` for the zoo)."""
         reports: Dict[ProtectionMode, SimReport] = {}
         for row in self.rows:
             if row.benchmark == benchmark and row.ok \
                     and row.report is not None:
                 reports[row.mode] = row.report
+        return reports
+
+    def reports_by_defense(self, benchmark: str) -> Dict[str, SimReport]:
+        """All successful reports of one benchmark, keyed by defense
+        name (the zoo-safe view)."""
+        reports: Dict[str, SimReport] = {}
+        for row in self.rows:
+            if row.benchmark == benchmark and row.ok \
+                    and row.report is not None:
+                reports[row.defense_name] = row.report
         return reports
 
     @property
@@ -346,7 +388,7 @@ class SweepResult:
             elif row.termination not in ("", "halt"):
                 note = (note + " " if note else "") + row.termination
             lines.append(
-                f"{row.benchmark:<14}{row.mode.value:<18}"
+                f"{row.benchmark:<14}{row.defense_name:<18}"
                 f"{row.status:<8}{row.cycles:>10}{row.attempts:>9}  "
                 f"{note}"
             )
@@ -359,7 +401,14 @@ class SweepResult:
 
 
 class SweepEngine:
-    """Checkpointing, fault-tolerant sweep over benchmarks x modes.
+    """Checkpointing, fault-tolerant sweep over benchmarks x defenses.
+
+    ``modes`` accepts legacy :class:`ProtectionMode` values, their
+    string spellings, and any defense-zoo registry name (aliases
+    included); everything is normalized to canonical defense names.
+    Checkpoint task keys are those names, which for the four paper
+    modes equal the old ``mode.value`` keys — existing checkpoints
+    resume unchanged.
 
     Each completed pair is durably appended to ``checkpoint`` before
     the next one starts, so a killed sweep resumes (``resume=True``)
@@ -380,7 +429,7 @@ class SweepEngine:
     def __init__(
         self,
         benchmarks: Optional[Sequence[str]] = None,
-        modes: Sequence[ProtectionMode] = EVALUATION_MODES,
+        modes: Sequence = EVALUATION_MODES,
         machine: Optional[MachineParams] = None,
         scale: float = 1.0,
         max_cycles: Optional[int] = None,
@@ -396,7 +445,9 @@ class SweepEngine:
     ) -> None:
         self.benchmarks = list(benchmarks) if benchmarks is not None \
             else spec_names()
-        self.modes = list(modes)
+        self.defenses = [normalize_defense_name(mode) for mode in modes]
+        #: Legacy view: the base mode of each requested defense.
+        self.modes = [base_mode_for(name) for name in self.defenses]
         self.machine = machine
         self.scale = scale
         self.options = RunOptions.coerce(
@@ -428,14 +479,14 @@ class SweepEngine:
 
     # ---- plumbing --------------------------------------------------------
 
-    def tasks(self) -> List[Tuple[str, ProtectionMode]]:
-        return [(name, mode) for name in self.benchmarks
-                for mode in self.modes]
+    def tasks(self) -> List[Tuple[str, str]]:
+        return [(name, defense) for name in self.benchmarks
+                for defense in self.defenses]
 
     def _config(self) -> Dict[str, object]:
         return {
             "benchmarks": self.benchmarks,
-            "modes": [mode.value for mode in self.modes],
+            "modes": list(self.defenses),
             "machine": self.machine.name if self.machine is not None
             else "paper",
             "scale": self.scale,
@@ -443,25 +494,27 @@ class SweepEngine:
             "injecting": self.fault_plan is not None,
         }
 
-    def _plan_for(self, benchmark: str, mode: ProtectionMode) \
+    def _plan_for(self, benchmark: str, defense: str) \
             -> Optional[FaultPlan]:
         if self.fault_plan is None:
             return None
-        return self.fault_plan.derive(f"{benchmark}/{mode.value}")
+        return self.fault_plan.derive(f"{benchmark}/{defense}")
 
-    def task_for(self, benchmark: str, mode: ProtectionMode) -> SweepTask:
+    def task_for(self, benchmark: str, defense: str) -> SweepTask:
         """The spawn-safe payload for one pair (shared by both paths)."""
+        defense = normalize_defense_name(defense)
         return SweepTask(
-            benchmark=benchmark, mode=mode, machine=self.machine,
+            benchmark=benchmark, mode=base_mode_for(defense),
+            defense=defense, machine=self.machine,
             scale=self.scale,
             options=self.options.merged(
-                fault_plan=self._plan_for(benchmark, mode)),
+                fault_plan=self._plan_for(benchmark, defense)),
             retries=self.retries, backoff=self.backoff,
             run_fn=self.run_fn,
         )
 
-    def _run_one(self, benchmark: str, mode: ProtectionMode) -> SweepRow:
-        return execute_sweep_task(self.task_for(benchmark, mode))
+    def _run_one(self, benchmark: str, defense: str) -> SweepRow:
+        return execute_sweep_task(self.task_for(benchmark, defense))
 
     # ---- the sweep -------------------------------------------------------
 
@@ -485,21 +538,21 @@ class SweepEngine:
                     store.reset(self._config())
 
             result = SweepResult(rows=[], checkpoint_path=self.checkpoint)
-            pending: List[Tuple[int, str, ProtectionMode]] = []
+            pending: List[Tuple[int, str, str]] = []
             slots: List[Optional[SweepRow]] = []
-            for benchmark, mode in self.tasks():
-                key = CheckpointStore.task_key(benchmark, mode.value)
+            for benchmark, defense in self.tasks():
+                key = CheckpointStore.task_key(benchmark, defense)
                 if key in done:
                     slots.append(done[key])
                 else:
-                    pending.append((len(slots), benchmark, mode))
+                    pending.append((len(slots), benchmark, defense))
                     slots.append(None)
 
             if self.workers > 1 and pending:
                 self._run_parallel(pending, slots, store, progress)
             else:
-                for index, benchmark, mode in pending:
-                    row = self._run_one(benchmark, mode)
+                for index, benchmark, defense in pending:
+                    row = self._run_one(benchmark, defense)
                     self._record(row, index, slots, store, progress)
             result.rows = [row for row in slots if row is not None]
             return result
@@ -519,7 +572,7 @@ class SweepEngine:
         checkpoint the row, slot it into task order, report progress."""
         if store is not None:
             store.append(
-                CheckpointStore.task_key(row.benchmark, row.mode.value),
+                CheckpointStore.task_key(row.benchmark, row.defense_name),
                 row.to_record(),
             )
         slots[index] = row
@@ -528,7 +581,7 @@ class SweepEngine:
 
     def _run_parallel(
         self,
-        pending: List[Tuple[int, str, ProtectionMode]],
+        pending: List[Tuple[int, str, str]],
         slots: List[Optional[SweepRow]],
         store: Optional[CheckpointStore],
         progress: Optional[Callable[[SweepRow], None]],
@@ -536,7 +589,7 @@ class SweepEngine:
         from ..perf.parallel import ParallelSweepExecutor
 
         executor = ParallelSweepExecutor(workers=self.workers)
-        tasks = [(index, self.task_for(benchmark, mode))
-                 for index, benchmark, mode in pending]
+        tasks = [(index, self.task_for(benchmark, defense))
+                 for index, benchmark, defense in pending]
         for index, row in executor.map_tasks(tasks):
             self._record(row, index, slots, store, progress)

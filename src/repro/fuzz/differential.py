@@ -34,7 +34,22 @@ MODE_FACTORIES = {
     "cache_hit": SecurityConfig.cache_hit,
     "cache_hit_tpbuf": SecurityConfig.cache_hit_tpbuf,
 }
+#: The paper's four modes — the default differential matrix.  Zoo
+#: defenses are added below so ``--modes`` / campaigns can target any
+#: registered scheme by name without widening the default set.
 ALL_MODES: Tuple[str, ...] = tuple(MODE_FACTORIES)
+
+
+def _register_zoo_factories() -> None:
+    from ..core.defense import defense_names
+
+    for name in defense_names():
+        if name not in MODE_FACTORIES:
+            MODE_FACTORIES[name] = (
+                lambda _name=name: SecurityConfig.for_defense(_name))
+
+
+_register_zoo_factories()
 
 
 @dataclass(frozen=True)

@@ -188,7 +188,9 @@ def leak_fitness(
 ) -> Optional[int]:
     """Leaked transient line count under ``mode``; ``None`` = invalid
     (a mutant that no longer halts)."""
-    security: SecurityConfig = MODE_FACTORIES[mode]()
+    security: SecurityConfig = (
+        MODE_FACTORIES[mode]() if mode in MODE_FACTORIES
+        else SecurityConfig.for_defense(mode))
     diff = two_secret_probe(
         program, secret_words,
         machine=machine, max_cycles=max_cycles, security=security,

@@ -127,6 +127,31 @@ class MemoryHierarchy:
             l1_hit=False,
         )
 
+    def peek_miss(self, paddr: int) -> AccessResult:
+        """Latency and supply level a demand miss *would* see, without
+        filling any level or touching replacement state — the invisible
+        speculative access of InvisiSpec-style defenses.  The L1D
+        lookup is assumed already performed (and counted) by
+        :meth:`data_hit_l1`, mirroring :meth:`complete_miss`."""
+        l1_latency = self.params.l1d.hit_latency
+        if self.l2.contains(paddr):
+            level = "l2"
+            outer = self.params.l2.hit_latency
+        elif self.l3.contains(paddr):
+            level = "l3"
+            outer = self.params.l2.hit_latency + self.params.l3.hit_latency
+        else:
+            level = "mem"
+            outer = (
+                self.params.l2.hit_latency
+                + self.params.l3.hit_latency
+                + self.params.dram_latency
+            )
+        self.stats.incr("invisible_accesses")
+        return AccessResult(
+            latency=l1_latency + outer, level=level, l1_hit=False
+        )
+
     def probe_data(self, paddr: int) -> bool:
         """Side-effect-free presence probe of the whole hierarchy."""
         return (

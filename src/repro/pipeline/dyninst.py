@@ -35,6 +35,7 @@ class DynInst:
         "pred_taken", "pred_target", "taken", "actual_target",
         "mispredicted", "resolved",
         "suspect", "ever_suspect", "blocked", "ever_blocked", "block_events",
+        "invisible_fill",
         "issue_attempts", "pending_lru_line",
         "cycle_dispatched", "cycle_issued", "cycle_completed",
         "l1_hit", "mem_level",
@@ -77,6 +78,9 @@ class DynInst:
         self.blocked = False
         self.ever_blocked = False
         self.block_events = 0
+        #: InvisiSpec-style defenses: line address of a speculative
+        #: read awaiting exposure (fill) at commit.
+        self.invisible_fill: Optional[int] = None
         self.issue_attempts = 0
         self.pending_lru_line: Optional[int] = None
         # Timing / memoization.

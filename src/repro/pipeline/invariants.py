@@ -20,12 +20,17 @@ Checked invariants:
 - **LSQ**: occupancy bookkeeping exact, backlinks correct, and every
   resident also lives in the ROB.
 - **Rename**: free list and active mappings disjoint.
+- **Defense wiring**: a defense that declares no security matrix must
+  never accumulate dependence rows; suspect/blocked flags only appear
+  on instructions a tagging defense could have marked, and a blocked
+  instruction is always an un-issued memory resident.
 """
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
 from ..errors import SimulationError
+from .dyninst import InstState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .processor import Processor
@@ -100,6 +105,30 @@ def check_security_matrix(cpu: "Processor") -> None:
                              f"producer {producer!r}")
 
 
+def check_defense_wiring(cpu: "Processor") -> None:
+    """The declared defense flags bound what may appear in flight."""
+    defense = cpu.defense
+    if not defense.uses_matrix:
+        for pos in range(cpu.iq.entries):
+            if cpu.iq.matrix.column_mask(pos):
+                _fail(cpu.cycle,
+                      f"defense '{defense.name}' declares no matrix "
+                      f"but column {pos} holds dependence rows")
+    for inst in cpu.rob:
+        if inst.suspect and not defense.tags_suspect:
+            _fail(cpu.cycle,
+                  f"defense '{defense.name}' does not tag suspects "
+                  f"but {inst!r} is marked suspect")
+        if inst.suspect and not inst.instr.is_memory:
+            _fail(cpu.cycle, f"non-memory {inst!r} marked suspect")
+        if inst.blocked:
+            if not inst.instr.is_memory:
+                _fail(cpu.cycle, f"non-memory {inst!r} is blocked")
+            if inst.state is not InstState.DISPATCHED:
+                _fail(cpu.cycle,
+                      f"blocked {inst!r} is not waiting in DISPATCHED")
+
+
 def check_lsq(cpu: "Processor") -> None:
     lsq = cpu.lsq
     rob_residents = {id(inst) for inst in cpu.rob}
@@ -137,5 +166,6 @@ def check_processor_invariants(cpu: "Processor") -> None:
     check_rob(cpu)
     check_issue_queue(cpu)
     check_security_matrix(cpu)
+    check_defense_wiring(cpu)
     check_lsq(cpu)
     check_rename(cpu)

@@ -10,6 +10,13 @@ Memory-dependence speculation is what Spectre V4 exploits: a load whose
 older stores have unknown addresses may issue anyway; when a store
 resolves its address, younger already-executed loads to the same word
 that did not forward from it are squashed (ordering violation).
+
+This store-bypass window is also the blind spot of the purely
+branch-keyed zoo defenses (``delay_on_miss`` / ``eager_delay`` in
+:mod:`repro.core.defense`): they key "speculative" off unresolved
+branches only, so a V4 leak rides through — the shootout experiment
+reports exactly that row.  The ``ldq_entries`` capacity here also
+sizes the per-load speculative buffer of the InvisiSpec-style entry.
 """
 from __future__ import annotations
 

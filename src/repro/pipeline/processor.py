@@ -31,11 +31,17 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Union
 
+from ..core.defense import defense_for_config
 from ..core.filters import HazardFilters, MissVerdict
 from ..core.icache_filter import ICacheHitFilter
-from ..core.policy import ProtectionMode, SecurityConfig
+from ..core.policy import SecurityConfig
 from ..core.tpbuf import TPBuf
-from ..errors import CycleBudgetExceeded, RunCancelled, SimulationError
+from ..errors import (
+    CycleBudgetExceeded,
+    DefenseConfigError,
+    RunCancelled,
+    SimulationError,
+)
 from ..frontend.branch_predictor import BranchPredictor
 from ..isa.instructions import (
     INSTRUCTION_BYTES,
@@ -114,10 +120,24 @@ class Processor:
         self.security = security or SecurityConfig.origin()
         core = self.machine.core
 
+        # The defense strategy: one fresh instance per processor (it
+        # may keep per-run state), validated here so every bad
+        # name/config/machine combination fails construction with one
+        # structured DefenseConfigError.
+        self.defense = defense_for_config(self.security)
+        self.defense.validate(self.security, self.machine)
+
         if isinstance(program, Program):
+            program = self.defense.transform_program(program)
             self.imem = InstructionMemory(program)
             self._entry = program.entry_point
         else:
+            if self.defense.kind == "software":
+                raise DefenseConfigError(
+                    f"software defense '{self.defense.name}' rewrites "
+                    "programs and cannot run on a pre-built "
+                    "InstructionMemory"
+                )
             self.imem = program
             if not self.imem.programs:
                 raise SimulationError("instruction memory is empty")
@@ -146,7 +166,7 @@ class Processor:
         self.rob = ReorderBuffer(core.rob_entries)
         self.iq = IssueQueue(core.iq_entries)
         self.tpbuf: Optional[TPBuf] = None
-        if self.security.mode.uses_tpbuf:
+        if self.defense.uses_tpbuf:
             self.tpbuf = TPBuf(core.ldq_entries + core.stq_entries)
         self.lsq = LoadStoreQueue(core.ldq_entries, core.stq_entries,
                                   tpbuf=self.tpbuf)
@@ -200,7 +220,14 @@ class Processor:
         self._filter_bypass = False
         self.watchdog = ForwardProgressWatchdog(limit=watchdog_cycles)
         self.stats = StatGroup("processor")
-        self.report = SimReport(name="run", mode=self.security.mode)
+        self.report = SimReport(name="run", mode=self.security.mode,
+                                defense=self.security.defense_name)
+        # Defense wiring flags, hoisted off the hot paths.
+        self._tags_suspect = self.defense.tags_suspect
+        self._filters_at_cache = self.defense.filters_at_cache
+        self._defense_events = self.defense.wants_events
+        self._taints_writeback = self.defense.taints_writeback
+        self.defense.attach(self)
 
     # ------------------------------------------------------------------
     # Public API
@@ -378,7 +405,7 @@ class Processor:
 
     def _dispatch(self) -> None:
         core = self.machine.core
-        matrix_on = self.security.mode.uses_matrix
+        matrix_on = self.defense.uses_matrix
         for _ in range(core.dispatch_width):
             if not self._fetch_buffer:
                 return
@@ -424,6 +451,8 @@ class Processor:
                 self._unresolved_branches += 1
             if instr.is_serializing:
                 self._barrier_seqs.append(inst.seq)
+            if self._defense_events:
+                self.defense.on_dispatch(self, inst)
 
             if instr.op is Opcode.NOP or instr.op is Opcode.HALT:
                 inst.state = InstState.COMPLETED
@@ -454,7 +483,9 @@ class Processor:
         # IssueQueue.has_security_dependence per instruction.
         eligible: List[DynInst] = []
         barrier = self._barrier_seqs[0] if self._barrier_seqs else None
-        baseline = self.security.mode.blocks_at_issue
+        defense = self.defense
+        baseline = defense.blocks_at_issue
+        gated = defense.gates_issue
         ready = self.rename.ready
         has_dependence = self.iq.matrix.has_dependence
         dispatched = InstState.DISPATCHED
@@ -483,15 +514,25 @@ class Processor:
                 if not sources_ready:
                     continue
             if inst.blocked:
-                # Filter-blocked load: wait for the security dependence
-                # row to clear, then re-issue (Section V.C).
-                if has_dependence(inst.iq_pos):
+                # Filter-blocked load: wait until the defense's blocking
+                # condition clears (legacy: the security dependence
+                # row, Section V.C), then re-issue.
+                if defense.still_blocked(self, inst):
                     continue
                 inst.blocked = False
             elif baseline and instr.is_memory \
                     and has_dependence(inst.iq_pos):
                 # BASELINE: security-dependent memory accesses are
                 # unsafe and may not issue speculatively.
+                if not inst.ever_blocked:
+                    inst.ever_blocked = True
+                inst.block_events += 1
+                self.report.block_events += 1
+                continue
+            elif gated and instr.is_memory \
+                    and not defense.gate_issue(self, inst):
+                # Zoo defenses with their own issue gate (eager delay,
+                # STT tainted-address transmitters, ...).
                 if not inst.ever_blocked:
                     inst.ever_blocked = True
                 inst.block_events += 1
@@ -520,10 +561,11 @@ class Processor:
         inst.issue_attempts += 1
         self.stats.incr("issued")
 
-        # Security hazard detection: sample the matrix row at select
-        # time (Figure 2, stage 3).
-        if self.security.mode.uses_matrix and instr.is_memory:
-            inst.suspect = self.iq.has_security_dependence(inst)
+        # Security hazard detection: sample the defense's suspect
+        # predicate at select time (legacy: the matrix row, Figure 2,
+        # stage 3).
+        if self._tags_suspect and instr.is_memory:
+            inst.suspect = self.defense.is_suspect(self, inst)
             if inst.suspect:
                 inst.ever_suspect = True
                 self.report.suspect_issues += 1
@@ -600,6 +642,8 @@ class Processor:
             self.rename.write(inst.pdst, inst.value)
         inst.state = InstState.COMPLETED
         inst.cycle_completed = self.cycle
+        if self._taints_writeback:
+            self.defense.on_writeback(self, inst)
         if inst.instr.is_serializing:
             self._remove_barrier(inst.seq)
 
@@ -647,6 +691,10 @@ class Processor:
         self.report.branches_resolved += 1
         self.predictor.update(inst.pc, instr, taken, target,
                               inst.mispredicted)
+        if self._taints_writeback and inst.pdst is not None:
+            self.defense.on_writeback(self, inst)  # CALL link register
+        if self._defense_events:
+            self.defense.on_resolve(self, inst)
         if self.security.clear_on_resolve and inst.iq_pos is not None:
             self.iq.matrix.schedule_clear(inst.iq_pos)
             self.iq.release(inst)
@@ -715,22 +763,17 @@ class Processor:
         update_lru = policy is SpeculativeLRUPolicy.NORMAL
         hit = self.hierarchy.data_hit_l1(inst.paddr, update_lru=update_lru)
         inst.l1_hit = hit
-        filter_mode = self.security.mode in (
-            ProtectionMode.CACHE_HIT, ProtectionMode.CACHE_HIT_TPBUF
-        )
+        filter_mode = self._filters_at_cache
         if inst.suspect and filter_mode and self._filter_bypass:
             # Injected filter-disable window: the suspect miss proceeds
             # as if the machine were unprotected for these cycles.
             self.stats.incr("filter_bypassed_injected")
         elif inst.suspect and filter_mode:
             self.report.suspect_accesses += 1
-            decision2 = self.filters.judge_suspect_load(
-                hit, inst.tpbuf_index if inst.tpbuf_index is not None else 0,
-                inst.ppn if inst.ppn is not None else 0,
-            )
+            verdict = self.defense.judge_suspect_load(self, inst, hit)
             if hit:
                 self.report.suspect_l1_hits += 1
-            elif decision2.verdict is MissVerdict.BLOCK:
+            elif verdict is MissVerdict.BLOCK:
                 # Discard the miss request; wait in the IQ for the
                 # security dependence to clear, then re-issue.
                 inst.blocked = True
@@ -739,6 +782,21 @@ class Processor:
                 inst.state = InstState.DISPATCHED
                 self.report.block_events += 1
                 self.stats.incr("filter_blocked_misses")
+                return
+            elif verdict is MissVerdict.INVISIBLE:
+                # InvisiSpec-style: read memory at miss latency without
+                # changing any cache state; the defense exposes the
+                # line when the load commits.
+                result = self.hierarchy.peek_miss(inst.paddr)
+                latency = result.latency
+                inst.mem_level = result.level
+                inst.invisible_fill = inst.paddr
+                self.stats.incr("invisible_loads")
+                if self.faults is not None:
+                    latency += self.faults.extra_fill_delay(self.cycle,
+                                                            inst)
+                self._schedule(latency,
+                               lambda: self._complete_load(inst, value))
                 return
         if hit:
             if policy is SpeculativeLRUPolicy.DELAYED:
@@ -761,6 +819,8 @@ class Processor:
             self.rename.write(inst.pdst, inst.value)
         inst.state = InstState.COMPLETED
         inst.cycle_completed = self.cycle
+        if self._taints_writeback:
+            self.defense.on_writeback(self, inst)
         if self.tpbuf is not None and inst.tpbuf_index is not None:
             self.tpbuf.set_writeback(inst.tpbuf_index)
         if inst.iq_pos is not None:
@@ -907,6 +967,8 @@ class Processor:
                 dest = instr.dest
                 assert dest is not None and inst.old_pdst is not None
                 self.rename.rollback(dest, inst.pdst, inst.old_pdst)
+            if self._defense_events:
+                self.defense.on_squash(self, inst)
             if self.tracer is not None:
                 self.tracer.on_squash(inst, self.cycle)
             self.report.squashed_instructions += 1
@@ -959,6 +1021,8 @@ class Processor:
                 self.lsq.release(head)
             if instr.is_serializing:
                 self._remove_barrier(head.seq)
+            if self._defense_events:
+                self.defense.on_commit(self, head)
             self.rob.pop_head()
             if self.tracer is not None:
                 self.tracer.on_retire(head, self.cycle)

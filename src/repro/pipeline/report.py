@@ -27,6 +27,10 @@ class SimReport:
 
     name: str
     mode: ProtectionMode
+    #: Registry name of the active defense (``repro.core.defense``).
+    #: Equals ``mode.value`` for the four legacy modes; zoo defenses
+    #: keep ``mode`` as their legacy anchor and identify here.
+    defense: str = ""
     cycles: int = 0
     committed: int = 0
     committed_loads: int = 0
@@ -129,13 +133,22 @@ class SimReport:
         fields = {f for f in cls.__dataclass_fields__}
         payload = {k: v for k, v in data.items() if k in fields}
         payload["mode"] = ProtectionMode(payload["mode"])
+        payload.setdefault("defense", payload["mode"].value)
         return cls(**payload)
+
+    @property
+    def defense_name(self) -> str:
+        """Canonical defense name (falls back to the legacy mode)."""
+        return self.defense or self.mode.value
 
     # ---- rendering --------------------------------------------------------------
 
     def render(self) -> str:
+        label = f"mode={self.mode.value}"
+        if self.defense and self.defense != self.mode.value:
+            label += f" defense={self.defense}"
         lines = [
-            f"run '{self.name}' mode={self.mode.value}",
+            f"run '{self.name}' {label}",
             f"  cycles={self.cycles} committed={self.committed} "
             f"ipc={self.ipc:.3f} halted={self.halted}"
             + (f" termination={self.termination}"
@@ -166,7 +179,7 @@ def compare_table(reports: List[SimReport], origin: SimReport) -> str:
     for report in reports:
         norm = safe_div(report.cycles, origin.cycles, default=1.0)
         lines.append(
-            f"{report.mode.value:<18}{report.cycles:>10}"
+            f"{report.defense_name:<18}{report.cycles:>10}"
             f"{norm:>8.3f}{report.ipc:>8.3f}"
         )
     return "\n".join(lines)

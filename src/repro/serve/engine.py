@@ -302,7 +302,7 @@ class AnalysisEngine:
         processor = Processor(
             program,
             machine=self.machine,
-            security=SecurityConfig(mode=submission.protection_mode()),
+            security=submission.security_config(),
             watchdog_cycles=watchdog,
             options=options,
         )

@@ -167,7 +167,14 @@ class Submission:
         return FaultPlan(**dict(self.fault))  # type: ignore[arg-type]
 
     def protection_mode(self) -> ProtectionMode:
-        return ProtectionMode(self.mode)
+        from ..core.defense import base_mode_for
+        return base_mode_for(self.mode)
+
+    def security_config(self) -> "SecurityConfig":
+        """The full defense configuration (``mode`` accepts any
+        registered zoo name, not just the paper's four)."""
+        from ..core.policy import SecurityConfig
+        return SecurityConfig.for_defense(self.mode)
 
     def cache_key(self) -> str:
         """Content-addressed identity: canonical program text plus
@@ -236,12 +243,16 @@ class Submission:
         mode = data.get("mode", "origin")
         if not isinstance(mode, str):
             raise SubmissionError("mode must be a string")
+        # Any registered defense (or alias) is a valid mode; the
+        # canonical name is what lands in the cache key.
+        from ..core.defense import DefenseConfigError, defense_names, \
+            normalize_defense_name
         try:
-            ProtectionMode(mode)
-        except ValueError:
+            mode = normalize_defense_name(mode)
+        except DefenseConfigError:
             raise SubmissionError(
                 f"unknown mode {mode!r}; choose from "
-                f"{[m.value for m in ProtectionMode]}") from None
+                f"{list(defense_names())}") from None
 
         program, name, default_secrets = _resolve_program(data)
         secrets = _parse_secret_words(

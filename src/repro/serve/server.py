@@ -357,11 +357,20 @@ class ReproServer:
         return 404, {"error": f"unknown path {request.path!r}"}
 
     def _stats_payload(self) -> Dict[str, object]:
+        from ..core.defense import defense_names
+
         by_state: Dict[str, int] = {}
+        by_defense: Dict[str, int] = {}
         for job in self.jobs.values():
             by_state[job.state.value] = by_state.get(
                 job.state.value, 0) + 1
+            mode = job.submission.mode
+            by_defense[mode] = by_defense.get(mode, 0) + 1
         return {
+            "defenses": {
+                "available": list(defense_names()),
+                "submitted": by_defense,
+            },
             "server": self.stats.to_dict(),
             "cache": self.cache.stats.to_dict(),
             "region_cache": self.cache.regions.stats.to_dict(),

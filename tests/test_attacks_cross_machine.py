@@ -4,6 +4,10 @@ import pytest
 
 from repro import SecurityConfig, a57_like, i7_like
 from repro.attacks import build_spectre_v1, build_spectre_v4, run_attack
+from repro.core.defense import defense_names
+
+#: Every defended registry entry must hold on foreign geometries too.
+ZOO = [name for name in defense_names() if name != "origin"]
 
 
 @pytest.mark.parametrize("machine_factory", [a57_like, i7_like],
@@ -16,11 +20,12 @@ class TestV1AcrossMachines:
                             security=SecurityConfig.origin())
         assert result.success
 
-    def test_blocked_by_tpbuf(self, machine_factory):
+    @pytest.mark.parametrize("defense", ZOO)
+    def test_blocked_by_every_defense(self, machine_factory, defense):
         machine = machine_factory()
         result = run_attack(build_spectre_v1(machine=machine),
                             machine=machine,
-                            security=SecurityConfig.cache_hit_tpbuf())
+                            security=SecurityConfig.for_defense(defense))
         assert not result.success
 
 

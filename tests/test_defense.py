@@ -167,7 +167,8 @@ class TestFilterDecisionLogic:
             is MissVerdict.BLOCK
 
     def test_tpbuf_mode_requires_buffer(self):
-        with pytest.raises(ValueError):
+        from repro.core.defense import DefenseConfigError
+        with pytest.raises(DefenseConfigError):
             HazardFilters(SecurityConfig.cache_hit_tpbuf(), None)
 
     def test_safe_fraction(self):

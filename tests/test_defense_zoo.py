@@ -1,0 +1,210 @@
+"""The pluggable defense registry: completeness, naming, pickling,
+construction-time validation, report plumbing, and the per-defense
+pipeline-invariant lint."""
+import pickle
+
+import pytest
+
+from conftest import run_to_halt
+from repro import Processor, SecurityConfig, tiny_config
+from repro.core.defense import (
+    DEFENSE_ALIASES,
+    DEFENSE_REGISTRY,
+    Defense,
+    DefenseConfigError,
+    base_mode_for,
+    create_defense,
+    defense_names,
+    normalize_defense_name,
+)
+from repro.core.policy import ProtectionMode
+from repro.experiments.runner import SweepTask
+from repro.isa import ProgramBuilder
+from repro.pipeline.report import SimReport
+
+ALL = list(defense_names())
+
+
+def zoo_program():
+    """Branch + dependent loads: exercises suspects, gating and taint."""
+    b = ProgramBuilder()
+    b.data_word(0x4000, 0x80)
+    b.li(1, 0x4000).clflush(1).fence()
+    b.load(2, 1)                  # slow producer
+    b.bne(2, 0, "skip")           # unresolved while loads dispatch
+    b.li(3, 0x40000)
+    b.load(4, 3)
+    b.load(5, 4)                  # dependent (tainted address for STT)
+    b.label("skip")
+    b.store(1, 2)
+    b.halt()
+    return b.build()
+
+
+class TestRegistry:
+    def test_paper_modes_and_zoo_registered(self):
+        assert ALL[:4] == ["origin", "baseline", "cache_hit",
+                           "cache_hit_tpbuf"]
+        for name in ("delay_on_miss", "eager_delay", "invisispec",
+                     "stt", "slh"):
+            assert name in ALL
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_entry_declares_identity_and_area(self, name):
+        defense = create_defense(name)
+        assert defense.name == name
+        assert defense.summary
+        assert defense.provenance
+        assert defense.kind in ("hardware", "software")
+        assert isinstance(defense.base_mode, ProtectionMode)
+        # Every entry must declare its hardware cost (0.0 is a valid
+        # declaration; *not implementing it* is not).
+        area = defense.area_mm2(tiny_config())
+        assert isinstance(area, float) and area >= 0.0
+        assert defense.area_fraction(tiny_config()) >= 0.0
+
+    def test_base_class_declares_no_area(self):
+        class Anonymous(Defense):
+            name = "anonymous"
+        with pytest.raises(NotImplementedError):
+            Anonymous().area_mm2(tiny_config())
+
+    def test_registry_maps_names_to_classes(self):
+        for name, cls in DEFENSE_REGISTRY.items():
+            assert cls.name == name
+
+
+class TestNaming:
+    def test_aliases_normalize(self):
+        assert normalize_defense_name("tpbuf") == "cache_hit_tpbuf"
+        assert normalize_defense_name("none") == "origin"
+        assert normalize_defense_name("delay-on-miss") == "delay_on_miss"
+        for alias, target in DEFENSE_ALIASES.items():
+            assert normalize_defense_name(alias) == target
+
+    def test_protection_mode_accepted(self):
+        assert normalize_defense_name(ProtectionMode.CACHE_HIT) \
+            == "cache_hit"
+
+    def test_unknown_name_is_structured_error(self):
+        with pytest.raises(DefenseConfigError, match="registered"):
+            normalize_defense_name("retpoline")
+
+    def test_legacy_names_equal_mode_values(self):
+        """Checkpoint/task-key compatibility hinges on this."""
+        for mode in ProtectionMode:
+            assert normalize_defense_name(mode.value) == mode.value
+            assert base_mode_for(mode.value) is mode
+
+
+class TestPickling:
+    """ParallelSweepExecutor ships configs/tasks to spawned workers."""
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_security_config_round_trips(self, name):
+        config = SecurityConfig.for_defense(name)
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone == config
+        assert clone.defense_name == name
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_sweep_task_round_trips(self, name):
+        task = SweepTask(benchmark="bzip2", mode=base_mode_for(name),
+                         defense=normalize_defense_name(name),
+                         machine=tiny_config(), scale=0.01)
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone.defense_name == name
+        assert clone.security == task.security
+
+
+class TestConstructionValidation:
+    def test_mismatched_mode_and_defense_rejected(self):
+        bad = SecurityConfig(mode=ProtectionMode.ORIGIN,
+                             defense="cache_hit_tpbuf")
+        with pytest.raises(DefenseConfigError):
+            Processor(zoo_program(), machine=tiny_config(), security=bad)
+
+    def test_software_defense_needs_a_program(self):
+        from repro.isa.program import InstructionMemory
+        imem = InstructionMemory(zoo_program())
+        with pytest.raises(DefenseConfigError, match="software"):
+            Processor(imem, machine=tiny_config(),
+                      security=SecurityConfig.for_defense("slh"))
+
+    def test_unknown_defense_rejected_at_construction(self):
+        bad = SecurityConfig(mode=ProtectionMode.ORIGIN,
+                             defense="retpoline")
+        with pytest.raises(DefenseConfigError):
+            Processor(zoo_program(), machine=tiny_config(), security=bad)
+
+
+class TestPipelineRuns:
+    @pytest.mark.parametrize("name", ALL)
+    def test_halts_with_invariant_lint(self, name):
+        """Every defense runs the mixed program to HALT with the
+        structural + defense-wiring invariant lint on every cycle."""
+        cpu = Processor(zoo_program(), machine=tiny_config(),
+                        security=SecurityConfig.for_defense(name),
+                        check_invariants=True)
+        report = cpu.run(max_cycles=100_000)
+        assert report.halted
+        assert report.defense_name == name
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_architectural_state_matches_origin(self, name):
+        """Defenses change timing, never architected results."""
+        base_cpu, _ = run_to_halt(zoo_program())
+        cpu, report = run_to_halt(
+            zoo_program(), security=SecurityConfig.for_defense(name))
+        assert report.halted
+        for reg in range(1, 8):
+            assert cpu.arch_reg(reg) == base_cpu.arch_reg(reg), \
+                f"r{reg} diverged under {name}"
+
+
+class TestReportPlumbing:
+    def test_report_round_trips_defense(self):
+        _, report = run_to_halt(
+            zoo_program(), security=SecurityConfig.for_defense("stt"))
+        payload = report.to_dict()
+        assert payload["defense"] == "stt"
+        clone = SimReport.from_dict(payload)
+        assert clone.defense_name == "stt"
+        assert "stt" in clone.render()
+
+    def test_legacy_payload_defaults_to_mode(self):
+        _, report = run_to_halt(zoo_program(),
+                                security=SecurityConfig.baseline())
+        payload = report.to_dict()
+        payload.pop("defense", None)
+        clone = SimReport.from_dict(payload)
+        assert clone.defense_name == "baseline"
+
+
+class TestServeSubmissions:
+    def test_zoo_name_accepted_and_canonicalized(self):
+        from repro.serve.protocol import Submission
+        sub = Submission.from_request({
+            "asm": "halt", "mode": "invisispec", "kind": "simulate"})
+        assert sub.mode == "invisispec"
+        assert sub.security_config().defense_name == "invisispec"
+        aliased = Submission.from_request({
+            "asm": "halt", "mode": "tpbuf", "kind": "simulate"})
+        assert aliased.mode == "cache_hit_tpbuf"
+        # Alias and canonical spelling share one cache entry.
+        canonical = Submission.from_request({
+            "asm": "halt", "mode": "cache_hit_tpbuf", "kind": "simulate"})
+        assert aliased.cache_key() == canonical.cache_key()
+
+    def test_unknown_mode_rejected(self):
+        from repro.serve.protocol import Submission, SubmissionError
+        with pytest.raises(SubmissionError, match="unknown mode"):
+            Submission.from_request({"asm": "halt", "mode": "kaiser"})
+
+
+class TestConfigIO:
+    def test_security_dict_round_trip(self):
+        from repro.config_io import security_from_dict, security_to_dict
+        for name in ALL:
+            config = SecurityConfig.for_defense(name)
+            assert security_from_dict(security_to_dict(config)) == config

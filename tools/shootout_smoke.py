@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Defense-shootout security ratchet (CI entry point).
+
+Runs a reduced-scale shootout — every registered defense against the
+full attack suite, one secret per attack, one SPEC profile for the
+overhead column — and enforces the committed baseline
+``benchmarks/BENCH_shootout.json``::
+
+    python tools/shootout_smoke.py                  # run + check
+    python tools/shootout_smoke.py --write-baseline # record new floor
+
+The check fails (exit 1) when any of these regress:
+
+- the ``origin`` positive control stops leaking on any attack — the
+  channel itself broke, so every "defense blocks it" claim below is
+  vacuous;
+- any defense recovers **more** secrets on an attack than its
+  committed baseline — a protection regression (fewer is fine: the
+  ratchet only tightens);
+- a registered defense is missing from the run, or a baseline row
+  disappeared from the registry without ``--write-baseline``.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.defense import defense_names  # noqa: E402
+from repro.experiments.shootout import (  # noqa: E402
+    ShootoutResult,
+    print_progress,
+    run_defense_shootout,
+)
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "benchmarks",
+                                "BENCH_shootout.json")
+BASELINE_FORMAT = "repro-shootout-baseline"
+
+#: The reduced CI configuration: every defense, every attack, one
+#: secret each, one benchmark for the overhead column, no evolve leg.
+SMOKE_BENCHMARKS = ["bzip2"]
+SMOKE_SCALE = 0.02
+SMOKE_TRIALS = 1
+
+
+def baseline_payload(result: ShootoutResult) -> dict:
+    """The committed shape: leak counts only — overhead and area are
+    informational, not ratcheted (they move with honest model work)."""
+    return {
+        "format": BASELINE_FORMAT,
+        "attacks": list(result.attacks),
+        "trials": {row.defense: dict(row.trials) for row in result.rows},
+        "recovered": {row.defense: dict(row.recovered)
+                      for row in result.rows},
+    }
+
+
+def check(result: ShootoutResult, baseline: dict) -> list:
+    problems = []
+    rows = {row.defense: row for row in result.rows}
+
+    origin = rows.get("origin")
+    if origin is None:
+        problems.append("origin control missing from the run")
+    else:
+        for attack, n in origin.trials.items():
+            if origin.recovered.get(attack, 0) < n:
+                problems.append(
+                    f"origin positive control stopped leaking on "
+                    f"{attack} ({origin.recovered.get(attack, 0)}/{n})")
+
+    recovered = baseline.get("recovered", {})
+    for name in defense_names():
+        if name not in rows:
+            problems.append(f"registered defense '{name}' missing "
+                            f"from the run")
+            continue
+        if name not in recovered:
+            problems.append(
+                f"defense '{name}' has no committed baseline row — "
+                f"run with --write-baseline")
+            continue
+        for attack, ceiling in recovered[name].items():
+            got = rows[name].recovered.get(attack)
+            if got is None:
+                problems.append(f"{name}: attack '{attack}' missing "
+                                f"from the run")
+            elif got > ceiling:
+                problems.append(
+                    f"{name}: leaks more on {attack} than the "
+                    f"baseline allows ({got} > {ceiling})")
+    for name in recovered:
+        if name not in rows:
+            problems.append(
+                f"baseline row '{name}' no longer registered — "
+                f"run with --write-baseline")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="record the current leak counts as the "
+                             "new committed ceiling")
+    parser.add_argument("--out", default=None,
+                        help="also write the full frontier JSON here")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    result = run_defense_shootout(
+        benchmarks=SMOKE_BENCHMARKS, scale=SMOKE_SCALE,
+        trials=SMOKE_TRIALS, evolve=False,
+        progress=None if args.quiet else print_progress,
+    )
+    print(result.render())
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+            handle.write("\n")
+
+    if args.write_baseline:
+        with open(args.baseline, "w") as handle:
+            json.dump(baseline_payload(result), handle, indent=2)
+            handle.write("\n")
+        print(f"baseline written: {args.baseline}")
+        return 0
+
+    try:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+    except FileNotFoundError:
+        print(f"no baseline at {args.baseline}; "
+              f"run with --write-baseline first", file=sys.stderr)
+        return 1
+    if baseline.get("format") != BASELINE_FORMAT:
+        print(f"unrecognized baseline format in {args.baseline}",
+              file=sys.stderr)
+        return 1
+
+    problems = check(result, baseline)
+    if problems:
+        print("\nshootout ratchet FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print("\nshootout ratchet OK: origin leaks everywhere, "
+          "no defense leaks above its committed ceiling")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
