@@ -15,8 +15,15 @@ oracle for "which loads are unsafe to speculate":
 - :mod:`valueset` — strided-interval value-set abstract interpretation
   used to *refute* findings whose speculative loads are provably
   in-bounds (the precision layer);
+- :mod:`memdep` — interprocedural store→load may-dependence analysis
+  (static store sets per load, disjointness proofs) closing the V4
+  blind spot of branch-keyed defenses;
 - :mod:`fencesynth` — greedy synthesize-and-verify minimal fence
-  placement that repairs the surviving findings (the repair layer);
+  placement that repairs the surviving findings (the repair layer;
+  store barriers only on may-bypass pairs);
+- :mod:`prescreen` — static defense-coverage pre-screen predicting
+  the full (attack × defense) blocked/leaky matrix from wiring flags
+  plus memdep/taint facts;
 - :mod:`solver` — small pure-Python 64-bit bitvector constraint layer
   (intervals, known-zero bits, restart-based concretization);
 - :mod:`symx` — bounded symbolic execution with always-mispredict
@@ -41,6 +48,19 @@ from .fencesynth import (
     oracle_equivalent,
     synthesize_fences,
     uses_rdcycle,
+)
+from .memdep import (
+    DisjointProof,
+    LoadStoreSet,
+    MemDepSummary,
+    compute_memdep_summary,
+    memdep_summary_key,
+    static_store_sets,
+)
+from .prescreen import (
+    PrescreenCell,
+    PrescreenMatrix,
+    prescreen_defenses,
 )
 from .report import (
     SCHEMA_VERSION,
@@ -115,6 +135,15 @@ __all__ = [
     "RefutedFinding",
     "RefinedReport",
     "refine_report",
+    "DisjointProof",
+    "LoadStoreSet",
+    "MemDepSummary",
+    "compute_memdep_summary",
+    "memdep_summary_key",
+    "static_store_sets",
+    "PrescreenCell",
+    "PrescreenMatrix",
+    "prescreen_defenses",
     "FenceSynthesis",
     "synthesize_fences",
     "fence_all",

@@ -43,7 +43,9 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 from ..isa.instructions import Opcode
 from ..isa.oracle import run_oracle
 from ..isa.program import FenceRewrite, Program, insert_fences
-from .report import AnalysisReport, Finding
+from .memdep import MemDepSummary, compute_memdep_summary, \
+    v4_finding_may_bypass
+from .report import AnalysisReport, Finding, GadgetKind
 from .symx import CertifyResult, Verdict, certify_program
 from .taint import DEFAULT_WINDOW, analyze_program
 from .valueset import RefinedReport, refine_report
@@ -116,6 +118,10 @@ class FenceSynthesis:
     #: Symbolic certificate for the *original* image: ``LEAKY`` with a
     #: replayed witness whenever a fence was actually needed.
     original_certificate: Optional[CertifyResult] = None
+    #: Sink PCs (final-image coordinates) of V4 findings left unfenced
+    #: because the memory-dependence analysis proved every store→load
+    #: pair disjoint — no store-barrier fence is needed there.
+    memdep_refuted: Tuple[int, ...] = ()
 
     @property
     def program(self) -> Program:
@@ -127,10 +133,13 @@ class FenceSynthesis:
 
     @property
     def clean(self) -> bool:
-        """No surviving (confirmed) findings in the final image."""
-        if self.refined is not None:
-            return not self.refined.confirmed
-        return self.report.clean
+        """No surviving (confirmed) findings in the final image.
+        Findings refuted by memory-dependence facts (provably
+        non-bypassable V4 pairs) do not count as surviving."""
+        survivors = (self.refined.confirmed if self.refined is not None
+                     else self.report.findings)
+        refuted = set(self.memdep_refuted)
+        return all(f.sink_pc in refuted for f in survivors)
 
     @property
     def certified(self) -> bool:
@@ -149,6 +158,9 @@ class FenceSynthesis:
             f"{'clean' if self.clean else 'NOT CLEAN'}"
             + (f" ({refuted} finding(s) refuted, no fence needed)"
                if refuted else "")
+            + (f" ({len(self.memdep_refuted)} V4 finding(s) "
+               "non-bypassable, no store barrier needed)"
+               if self.memdep_refuted else "")
             + (f"; certificate {self.certificate.verdict.value}"
                if self.certificate is not None else "")
         )
@@ -162,6 +174,7 @@ class FenceSynthesis:
             "clean": self.clean,
             "refuted": (len(self.refined.refuted)
                         if self.refined is not None else 0),
+            "memdep_refuted": len(self.memdep_refuted),
             "certificate": (self.certificate.to_dict()
                             if self.certificate is not None else None),
             "original_certificate": (
@@ -177,12 +190,36 @@ def _surviving(report: AnalysisReport,
     return list(report.findings)
 
 
+def _memdep_filter(
+    program: Program,
+    findings: List[Finding],
+    window: int,
+) -> Tuple[List[Finding], List[Finding], Optional[MemDepSummary]]:
+    """Split ``findings`` into (needs repair, memdep-refuted): a V4
+    finding whose source store provably cannot be bypassed by any of
+    its loads needs no store-barrier fence.  Non-V4 findings always
+    need repair; the summary is only computed when V4 findings exist."""
+    if not any(f.kind is GadgetKind.SPECTRE_V4 for f in findings):
+        return findings, [], None
+    summary = compute_memdep_summary(program, window=window)
+    keep: List[Finding] = []
+    dropped: List[Finding] = []
+    for finding in findings:
+        if (finding.kind is GadgetKind.SPECTRE_V4
+                and not v4_finding_may_bypass(summary, finding)):
+            dropped.append(finding)
+        else:
+            keep.append(finding)
+    return keep, dropped, summary
+
+
 def synthesize_fences(
     program: Program,
     window: int = DEFAULT_WINDOW,
     secret_words: Iterable[int] = (),
     refine: bool = True,
     certify: bool = False,
+    memdep: bool = True,
     name: str = "program",
 ) -> FenceSynthesis:
     """Greedily place the fewest fences that silence every surviving
@@ -200,6 +237,12 @@ def synthesize_fences(
     (exposed as :attr:`FenceSynthesis.certified`), and the original is
     certified for comparison — ``LEAKY`` with a replayable witness
     whenever the placement actually repaired something.
+
+    With ``memdep`` (the default) the store sets of
+    :mod:`repro.analysis.memdep` are consulted for V4 findings: a
+    store-barrier fence is only placed on may-bypass pairs — a finding
+    whose store→load pairs are all provably disjoint is reported in
+    :attr:`FenceSynthesis.memdep_refuted` instead of fenced.
     """
     secrets = tuple(sorted(set(secret_words)))
     fence_pcs: Set[int] = set()
@@ -217,6 +260,10 @@ def synthesize_fences(
                                  secret_words=secrets)
                    if refine else None)
         surviving = _surviving(report, refined)
+        memdep_dropped: List[Finding] = []
+        if memdep and surviving:
+            surviving, memdep_dropped, _ = _memdep_filter(
+                rewrite.program, surviving, window)
         if not surviving or iterations > budget:
             break
         to_original = {new: old for old, new in rewrite.to_new.items()}
@@ -252,4 +299,6 @@ def synthesize_fences(
         secret_words=secrets,
         certificate=certificate,
         original_certificate=original_certificate,
+        memdep_refuted=tuple(sorted(
+            f.sink_pc for f in memdep_dropped)),
     )

@@ -16,8 +16,10 @@ from typing import Dict, List, Mapping, Optional, Tuple
 #: ``accelerated`` refutation reasons, certificates gain a ``summary``
 #: block (``merged_paths``, ``summarized_loops``, ``accelerated_loops``,
 #: ``summary_cache_hit``) and the certify block reports the same
-#: counters.
-SCHEMA_VERSION = 4
+#: counters; 5 = optional per-finding ``memdep`` block (may-bypass
+#: store PCs and store→load disjointness proofs from
+#: :mod:`repro.analysis.memdep`).
+SCHEMA_VERSION = 5
 
 
 class GadgetKind(Enum):
@@ -123,6 +125,7 @@ class AnalysisReport:
     def to_dict(
         self,
         certificates: Optional[Mapping[int, Dict[str, object]]] = None,
+        memdep: Optional[Mapping[int, Dict[str, object]]] = None,
     ) -> Dict[str, object]:
         """JSON-friendly form (CLI ``--json``).
 
@@ -130,8 +133,12 @@ class AnalysisReport:
         ``sink_pc`` to its symbolic certificate block — the per-sink
         verdict, witness, dynamic replay result and solver statistics
         produced by :func:`repro.analysis.symx.finding_certificates`.
-        Findings without an entry simply omit the block, so documents
-        written without ``--certify`` stay v2-shaped apart from the
+        ``memdep`` (schema v5) likewise maps ``sink_pc`` to the
+        finding's memory-dependence block (may-bypass store PCs and
+        disjointness proofs from
+        :func:`repro.analysis.memdep.finding_memdep_block`).  Findings
+        without an entry simply omit the block, so documents written
+        without the extra passes stay v2-shaped apart from the
         version number.
         """
         findings = []
@@ -147,6 +154,8 @@ class AnalysisReport:
             }
             if certificates is not None and f.sink_pc in certificates:
                 entry["certificate"] = certificates[f.sink_pc]
+            if memdep is not None and f.sink_pc in memdep:
+                entry["memdep"] = memdep[f.sink_pc]
             findings.append(entry)
         return {
             "schema_version": SCHEMA_VERSION,
@@ -163,9 +172,10 @@ def report_from_dict(data: Mapping[str, object]) -> AnalysisReport:
     """Rebuild an :class:`AnalysisReport` from a ``--json`` document.
 
     Accepts every schema version to date: v1 (no ``schema_version``
-    key), v2, and v3 (whose optional per-finding ``certificate`` block
-    and sibling ``refinement``/``fence_synthesis`` blocks are simply
-    ignored here — the core findings are version-stable).
+    key) through v5 (whose optional per-finding ``certificate`` and
+    ``memdep`` blocks and sibling ``refinement``/``fence_synthesis``
+    blocks are simply ignored here — the core findings are
+    version-stable).
     """
     version = int(data.get("schema_version", 1))  # type: ignore[arg-type]
     if version > SCHEMA_VERSION:

@@ -536,6 +536,23 @@ def _address_set(state: ValueSetState,
     return shifted if shifted is not None else TOP
 
 
+def address_set(state: Optional[ValueSetState],
+                instruction: Instruction) -> ValueSet:
+    """Public effective-address query for other analyses (memdep).
+
+    ``state`` may be ``None`` (statically unreachable program point),
+    which degrades to TOP — the caller must stay conservative there.
+    """
+    if state is None:
+        return TOP
+    return _address_set(state, instruction)
+
+
+def disjoint_word_ranges(a: ValueSet, b: ValueSet) -> bool:
+    """Public word-range disjointness query for other analyses."""
+    return _disjoint(a, b)
+
+
 def _containing_region(
     addresses: ValueSet, regions: Sequence[Tuple[int, int]],
 ) -> Optional[Tuple[int, int]]:

@@ -23,6 +23,10 @@ Commands:
   and optional fault injection (``--inject``).
 - ``fence``    - fence overhead study: unsafe vs fence-all vs
   synthesized fences vs the hardware filters.
+- ``prescreen`` - static defense-coverage pre-screen: predict the
+  (attack x defense) blocked/leaky matrix from wiring flags plus
+  memdep/taint facts, cross-validated cell-by-cell against the
+  dynamic shootout (``--static-only`` skips the dynamic leg).
 - ``precision`` - static precision study: taint vs +valueset vs
   +symx over the corpus and SPEC-like workloads.
 - ``fuzz``     - adversarial validation campaigns (``diff`` /
@@ -255,7 +259,22 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
         certificates = (finding_certificates(certified, report)
                         if certified is not None else None)
-        document = report.to_dict(certificates=certificates)
+        memdep_blocks = None
+        if report.findings:
+            from .analysis.memdep import (
+                compute_memdep_summary,
+                finding_memdep_block,
+            )
+
+            memdep_summary = compute_memdep_summary(program,
+                                                    window=window)
+            memdep_blocks = {}
+            for finding in report.findings:
+                block = finding_memdep_block(memdep_summary, finding)
+                if block["may_bypass"] or block["disjoint"]:
+                    memdep_blocks[finding.sink_pc] = block
+        document = report.to_dict(certificates=certificates,
+                                  memdep=memdep_blocks)
         if refined is not None:
             document["refinement"] = refined.to_dict()
         if synthesis is not None:
@@ -453,6 +472,30 @@ def _cmd_shootout(args: argparse.Namespace) -> int:
     print(result.render())
     _write_json(args.json, result.to_dict())
     return 0
+
+
+def _cmd_prescreen(args: argparse.Namespace) -> int:
+    from .core.defense import normalize_defense_name
+
+    extras = {}
+    if args.window is not None:
+        extras["window"] = args.window
+    result = run_experiment(
+        "defense_prescreen",
+        machine=_machine(args),
+        defenses=([normalize_defense_name(d) for d in args.defenses]
+                  if args.defenses else None),
+        attacks=args.attacks or None,
+        dynamic=not args.static_only,
+        trials=args.trials,
+        seed=args.seed,
+        **extras,
+    )
+    print(result.render())
+    _write_json(args.json, result.to_dict())
+    if args.static_only:
+        return 0
+    return 0 if result.validated else 1
 
 
 def _cmd_fence(args: argparse.Namespace) -> int:
@@ -978,6 +1021,33 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the frontier as JSON")
     _add_machine_arg(p_shoot)
     p_shoot.set_defaults(func=_cmd_shootout)
+
+    p_pre = sub.add_parser(
+        "prescreen",
+        help="static defense-coverage pre-screen: predict the attack x "
+             "defense matrix and cross-validate it against the "
+             "dynamic shootout (docs/analysis.md)",
+    )
+    p_pre.add_argument("--defenses", nargs="*", default=None,
+                       choices=_mode_choices(),
+                       help="defense subset (default: whole zoo)")
+    p_pre.add_argument("--attacks", nargs="*", default=None,
+                       choices=list(ATTACK_SUITE),
+                       help="attack subset (default: all five)")
+    p_pre.add_argument("--window", type=int, default=None,
+                       help="speculation window for the static passes "
+                            "(default: analysis default)")
+    p_pre.add_argument("--static-only", action="store_true",
+                       help="skip the dynamic cross-validation leg")
+    p_pre.add_argument("--trials", type=int, default=1,
+                       help="secrets swept per dynamic attack "
+                            "(default 1)")
+    p_pre.add_argument("--seed", default="prescreen",
+                       help="dynamic-leg RNG seed (default: prescreen)")
+    p_pre.add_argument("--json", default=None,
+                       help="write matrix + validation as JSON")
+    _add_machine_arg(p_pre)
+    p_pre.set_defaults(func=_cmd_prescreen)
 
     p_fuzz = sub.add_parser(
         "fuzz",

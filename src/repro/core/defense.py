@@ -105,6 +105,20 @@ class Defense:
       ``on_commit`` / ``on_squash``.
     - ``taints_writeback`` — receive :meth:`on_writeback` after every
       register writeback.
+
+    Coverage declaration (consumed by the static pre-screen in
+    :mod:`repro.analysis.prescreen`):
+
+    - ``covers_sources`` — the speculation-source families the
+      defense's suspect/gate predicate can *see*, out of ``"branch"``
+      (conditional mispredict, Spectre V1), ``"indirect"`` (BTB,
+      V2), ``"return"`` (RSB) and ``"store"`` (store bypass, V4).  An
+      attack whose source family is absent here is predicted to leak.
+    - ``coverage_needs_memdep`` — ``"store"`` coverage is contingent
+      on the static store sets of :mod:`repro.analysis.memdep`: the
+      defense only delays loads its may-bypass table names, so the
+      pre-screen must check the table covers the attack's bypassing
+      pairs instead of taking ``"store"`` on faith.
     """
 
     name: str = ""
@@ -121,6 +135,9 @@ class Defense:
     filters_at_cache: bool = False
     wants_events: bool = False
     taints_writeback: bool = False
+
+    covers_sources: Tuple[str, ...] = ()
+    coverage_needs_memdep: bool = False
 
     # ---- lifecycle ---------------------------------------------------------
 
@@ -227,6 +244,7 @@ DEFENSE_ALIASES: Dict[str, str] = {
     "conditional-speculation": "cache_hit_tpbuf",
     "conditional_speculation": "cache_hit_tpbuf",
     "delay-on-miss": "delay_on_miss",
+    "delay-on-miss-ss": "delay_on_miss_ss",
     "eager-delay": "eager_delay",
 }
 
@@ -306,6 +324,7 @@ class BaselineDefense(Defense):
     uses_matrix = True
     tags_suspect = True
     blocks_at_issue = True
+    covers_sources = ("branch", "indirect", "return", "store")
 
     def area_mm2(self, machine: "MachineParams") -> float:
         core = machine.core
@@ -324,6 +343,7 @@ class CacheHitDefense(Defense):
     uses_matrix = True
     tags_suspect = True
     filters_at_cache = True
+    covers_sources = ("branch", "indirect", "return", "store")
 
     def area_mm2(self, machine: "MachineParams") -> float:
         core = machine.core
@@ -405,6 +425,7 @@ class DelayOnMissDefense(_BranchAgeTracker):
     base_mode = ProtectionMode.ORIGIN
     tags_suspect = True
     filters_at_cache = True
+    covers_sources = ("branch", "indirect", "return")
 
     def is_suspect(self, cpu: "Processor", inst: "DynInst") -> bool:
         return self._control_speculative(inst.seq)
@@ -438,12 +459,75 @@ class EagerDelayDefense(_BranchAgeTracker):
     provenance = "eager variant of NDA (Weisse et al., MICRO 2019)"
     base_mode = ProtectionMode.ORIGIN
     gates_issue = True
+    covers_sources = ("branch", "indirect", "return")
 
     def gate_issue(self, cpu: "Processor", inst: "DynInst") -> bool:
         return not self._control_speculative(inst.seq)
 
     def area_mm2(self, machine: "MachineParams") -> float:
         return comparator_area_mm2(machine.core.iq_entries)
+
+
+@register_defense
+class DelayOnMissStoreSetDefense(DelayOnMissDefense):
+    """Delay-on-miss widened with static store sets: the V4 closure.
+
+    The branch-keyed predicate above cannot see the store-bypass
+    window, so Spectre V4 rides through (the pinned expected-leak row
+    of the shootout).  This entry keeps the same hardware shape and
+    *additionally* treats a load as suspect while an older store's
+    address is still unresolved — but only for loads the static
+    memory-dependence analysis (:mod:`repro.analysis.memdep`) proved
+    may actually bypass a store.  The may-bypass table arrives through
+    :meth:`transform_program` (program metadata, not a rewrite), is
+    content-addressed and memoized across trials, and is *empty* for
+    programs with no bypassable pairs — where the defense is
+    cycle-identical to plain ``delay_on_miss``.  Raw
+    ``InstructionMemory`` runs have no program to analyze and likewise
+    degrade to the branch-keyed predicate.
+
+    Deadlock-free: a load only waits on unresolved-address stores
+    older than itself, and a store's address operands are produced by
+    instructions older than the store, so the oldest unresolved store
+    can never transitively wait on a load it blocks.
+    """
+
+    name = "delay_on_miss_ss"
+    summary = "delay-on-miss + static store-set suspect widening"
+    provenance = ("store-set closure of the NDA-family V4 blind spot "
+                  "(this repro, via repro.analysis.memdep; cf. "
+                  "Kiriansky & Waldspurger, 2018)")
+    base_mode = ProtectionMode.ORIGIN
+    covers_sources = ("branch", "indirect", "return", "store")
+    coverage_needs_memdep = True
+
+    #: load PC → PCs of stores it may bypass; class-level default so
+    #: InstructionMemory-driven runs (no transform_program call) see
+    #: an empty table.  Read-only at class level, shadowed per
+    #: instance by :meth:`transform_program`.
+    _store_sets: Dict[int, frozenset] = {}
+
+    def transform_program(self, program: "Program") -> "Program":
+        from ..analysis.memdep import static_store_sets
+
+        self._store_sets = static_store_sets(program)
+        return program
+
+    def is_suspect(self, cpu: "Processor", inst: "DynInst") -> bool:
+        if self._control_speculative(inst.seq):
+            return True
+        return (inst.pc in self._store_sets
+                and cpu.lsq.unresolved_store_older_than(inst.seq))
+
+    def still_blocked(self, cpu: "Processor", inst: "DynInst") -> bool:
+        return self.is_suspect(cpu, inst)
+
+    def area_mm2(self, machine: "MachineParams") -> float:
+        core = machine.core
+        # Branch-age comparator as delay_on_miss, plus an STQ
+        # address-resolved scan and a PC-indexed store-set lookup.
+        return (comparator_area_mm2(core.iq_entries)
+                + comparator_area_mm2(core.stq_entries))
 
 
 @register_defense
@@ -469,6 +553,7 @@ class InvisiSpecDefense(Defense):
     tags_suspect = True
     filters_at_cache = True
     wants_events = True
+    covers_sources = ("branch", "indirect", "return", "store")
 
     def judge_suspect_load(self, cpu: "Processor", inst: "DynInst",
                            l1_hit: bool) -> MissVerdict:
@@ -518,6 +603,7 @@ class STTDefense(Defense):
     gates_issue = True
     wants_events = True
     taints_writeback = True
+    covers_sources = ("branch", "indirect", "return", "store")
 
     def attach(self, cpu: "Processor") -> None:
         #: physical register -> the in-flight suspect load that made it
@@ -602,6 +688,7 @@ class SLHDefense(Defense):
     provenance = "Kiriansky & Waldspurger / LLVM SLH, 2018"
     kind = "software"
     base_mode = ProtectionMode.ORIGIN
+    covers_sources = ("branch", "indirect", "return", "store")
 
     def transform_program(self, program: "Program") -> "Program":
         from ..analysis import analyze_program

@@ -24,6 +24,7 @@ from .precision_study import (
     PrecisionStudyResult,
     run_precision_study,
 )
+from .prescreen import PrescreenValidation, run_defense_prescreen
 from .shootout import (
     ATTACK_SUITE,
     ShootoutResult,
@@ -71,6 +72,8 @@ __all__ = [
     "PrecisionStudyResult",
     "run_precision_study",
     "ATTACK_SUITE",
+    "PrescreenValidation",
+    "run_defense_prescreen",
     "ShootoutResult",
     "ShootoutRow",
     "run_defense_shootout",

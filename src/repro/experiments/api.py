@@ -32,6 +32,7 @@ from ..params import MachineParams
 from .fence_study import run_fence_study
 from .figure5 import run_figure5
 from .precision_study import run_precision_study
+from .prescreen import run_defense_prescreen
 from .shootout import run_defense_shootout
 from .lru_study import run_lru_study
 from .table4 import run_table4
@@ -211,6 +212,15 @@ register_experiment(ExperimentSpec(
     supports=("benchmarks", "machine", "scale"),
     extras=("defenses", "attacks", "trials", "evolve",
             "evolve_generations", "seed", "progress"),
+))
+register_experiment(ExperimentSpec(
+    name="defense_prescreen",
+    runner=run_defense_prescreen,
+    description="Static defense-coverage pre-screen cross-validated "
+                "cell-by-cell against the dynamic shootout",
+    supports=("machine",),
+    extras=("defenses", "attacks", "window", "dynamic", "trials",
+            "seed", "progress"),
 ))
 register_experiment(ExperimentSpec(
     name="lru_study",

@@ -1,0 +1,105 @@
+"""Static defense-coverage pre-screen, cross-validated dynamically.
+
+The static half (:func:`repro.analysis.prescreen.prescreen_defenses`)
+predicts blocked/leaky for every (attack, defense) cell from wiring
+flags + memdep/taint facts.  This experiment optionally re-derives the
+same matrix *dynamically* — a benchmark-free
+:func:`~repro.experiments.shootout.run_defense_shootout` — and names
+every disagreeing cell, in the spirit of PR 1's 100% static-vs-dynamic
+suspect-coverage proof: the static analysis is only trusted because
+the simulator keeps agreeing with it.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.prescreen import PrescreenMatrix, prescreen_defenses
+from ..analysis.taint import DEFAULT_WINDOW
+from ..params import MachineParams
+from .shootout import ProgressFn, ShootoutResult, run_defense_shootout
+
+__all__ = [
+    "PrescreenValidation",
+    "run_defense_prescreen",
+]
+
+
+@dataclass
+class PrescreenValidation:
+    """The predicted matrix plus its dynamic cross-validation."""
+
+    matrix: PrescreenMatrix
+    #: ``None`` when the dynamic leg was skipped (``dynamic=False``).
+    shootout: Optional[ShootoutResult] = None
+    #: Human-readable disagreeing cells ("attack/defense: ...").
+    disagreements: List[str] = field(default_factory=list)
+
+    @property
+    def validated(self) -> bool:
+        """Dynamic leg ran and every cell agreed."""
+        return self.shootout is not None and not self.disagreements
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "matrix": self.matrix.to_dict(),
+            "dynamic": self.shootout is not None,
+            "disagreements": list(self.disagreements),
+            "shootout": (self.shootout.to_dict()
+                         if self.shootout is not None else None),
+        }
+
+    def render(self) -> str:
+        lines = [self.matrix.render()]
+        if self.shootout is None:
+            lines.append("\n(dynamic cross-validation skipped)")
+        elif self.disagreements:
+            lines.append("\nDISAGREEMENTS (static vs dynamic):")
+            lines.extend(f"  {entry}" for entry in self.disagreements)
+        else:
+            cells = len(self.matrix.attacks) * len(self.matrix.defenses)
+            lines.append(f"\nall {cells} cells agree with the dynamic "
+                         "shootout")
+        return "\n".join(lines)
+
+
+def run_defense_prescreen(
+    defenses: Optional[Sequence[str]] = None,
+    attacks: Optional[Sequence[str]] = None,
+    machine: Optional[MachineParams] = None,
+    window: int = DEFAULT_WINDOW,
+    dynamic: bool = True,
+    trials: int = 1,
+    seed: str = "prescreen",
+    progress: Optional[ProgressFn] = None,
+) -> PrescreenValidation:
+    """Predict the (attack × defense) matrix; optionally validate it.
+
+    With ``dynamic`` (the default) the same defense × attack grid runs
+    through the shootout's attack leg (no benchmarks, no evolve) and
+    each cell's prediction is checked against secrets actually
+    recovered.  Disagreements are reported, never swallowed.
+    """
+    matrix = prescreen_defenses(attacks=attacks, defenses=defenses,
+                                window=window)
+    if not dynamic:
+        return PrescreenValidation(matrix=matrix)
+    shootout = run_defense_shootout(
+        defenses=list(matrix.defenses), attacks=list(matrix.attacks),
+        benchmarks=[], machine=machine, trials=trials, evolve=False,
+        seed=seed, progress=progress)
+    disagreements: List[str] = []
+    for defense in matrix.defenses:
+        row = shootout.row(defense)
+        for attack in matrix.attacks:
+            cell = matrix.cell(attack, defense)
+            recovered = row.recovered.get(attack, 0)
+            dynamically_blocked = recovered == 0
+            if cell.predicted_blocked != dynamically_blocked:
+                disagreements.append(
+                    f"{attack}/{defense}: static predicts "
+                    f"{cell.predicted} ({cell.reason}) but the "
+                    f"dynamic shootout recovered {recovered}/"
+                    f"{row.trials.get(attack, 0)} secrets")
+    return PrescreenValidation(matrix=matrix, shootout=shootout,
+                               disagreements=disagreements)

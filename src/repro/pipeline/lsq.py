@@ -15,8 +15,11 @@ This store-bypass window is also the blind spot of the purely
 branch-keyed zoo defenses (``delay_on_miss`` / ``eager_delay`` in
 :mod:`repro.core.defense`): they key "speculative" off unresolved
 branches only, so a V4 leak rides through — the shootout experiment
-reports exactly that row.  The ``ldq_entries`` capacity here also
-sizes the per-load speculative buffer of the InvisiSpec-style entry.
+reports exactly that row.  The ``delay_on_miss_ss`` entry closes the
+blind spot by also consulting :meth:`LoadStoreQueue.unresolved_store_older_than`
+together with the static store sets of :mod:`repro.analysis.memdep`.
+The ``ldq_entries`` capacity here also sizes the per-load speculative
+buffer of the InvisiSpec-style entry.
 """
 from __future__ import annotations
 
@@ -153,6 +156,17 @@ class LoadStoreQueue:
             source is None or youngest_unknown.seq > source.seq
         )
         return LoadDecision(source=source, speculation_hazard=hazard)
+
+    def unresolved_store_older_than(self, seq: int) -> bool:
+        """Is any real store older than ``seq`` still waiting for its
+        address?  While true, a load at ``seq`` issuing anyway is
+        memory-dependence speculation — the store-bypass window the
+        store-set-aware defense keys its suspect predicate off."""
+        for store in self.stores():
+            if (store.seq < seq and store.instr.is_store
+                    and not store.addr_ready):
+                return True
+        return False
 
     def violating_loads(self, store: DynInst) -> List[DynInst]:
         """Loads that executed past ``store`` and read the same word

@@ -99,6 +99,19 @@ class TestSpectreV4:
                             security=SecurityConfig.for_defense(defense))
         assert result.success
 
+    def test_store_set_variant_closes_the_blind_spot(self):
+        """delay_on_miss_ss widens the suspect predicate with the
+        static store sets of repro.analysis.memdep, so the exact V4
+        gadget delay_on_miss provably leaks is blocked."""
+        leaky = run_attack(
+            build_spectre_v4(),
+            security=SecurityConfig.for_defense("delay_on_miss"))
+        assert leaky.success  # the blind spot is real ...
+        result = run_attack(
+            build_spectre_v4(),
+            security=SecurityConfig.for_defense("delay_on_miss_ss"))
+        assert not result.success  # ... and the store sets close it
+
 
 class TestSpectrePrime:
     def test_leaks_on_origin(self):

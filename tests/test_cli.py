@@ -163,7 +163,7 @@ class TestAnalyzeCommand:
         assert produced.pop("name").endswith("gadget.s")
         golden.pop("name")
         assert produced == golden
-        assert produced["schema_version"] == SCHEMA_VERSION == 4
+        assert produced["schema_version"] == SCHEMA_VERSION == 5
 
     def test_analyze_corpus_spec(self, capsys):
         code = main(["analyze", "corpus:v1"])
@@ -215,7 +215,7 @@ class TestAnalyzeCommand:
         assert code == 0
         assert "LEAKY" in out
         doc = json.loads(out_json.read_text())
-        assert doc["schema_version"] == 4
+        assert doc["schema_version"] == 5
         assert doc["certify"]["verdict"] == "LEAKY"
         certificates = [f["certificate"] for f in doc["findings"]
                         if "certificate" in f]

@@ -45,8 +45,8 @@ class TestRegistry:
     def test_paper_modes_and_zoo_registered(self):
         assert ALL[:4] == ["origin", "baseline", "cache_hit",
                            "cache_hit_tpbuf"]
-        for name in ("delay_on_miss", "eager_delay", "invisispec",
-                     "stt", "slh"):
+        for name in ("delay_on_miss", "eager_delay", "delay_on_miss_ss",
+                     "invisispec", "stt", "slh"):
             assert name in ALL
 
     @pytest.mark.parametrize("name", ALL)

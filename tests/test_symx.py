@@ -379,7 +379,7 @@ class TestCertificates:
                                  replay=False, name="v1-unsafe")
         document = report.to_dict(
             certificates=finding_certificates(result, report))
-        assert document["schema_version"] == 4
+        assert document["schema_version"] == 5
         assert all("certificate" in entry
                    for entry in document["findings"])
         for entry in document["findings"]:

@@ -18,7 +18,13 @@ The check fails (exit 1) when any of these regress:
   committed baseline — a protection regression (fewer is fine: the
   ratchet only tightens);
 - a registered defense is missing from the run, or a baseline row
-  disappeared from the registry without ``--write-baseline``.
+  disappeared from the registry without ``--write-baseline``;
+- a **pinned** V4 cell drifts, in either direction: ``delay_on_miss``
+  and ``eager_delay`` must keep their documented store-bypass leak
+  (the blind spot of docs/defenses.md stays reproduced), and
+  ``delay_on_miss_ss`` — the store-set closure of that blind spot —
+  must block every attack outright.  Pins apply to the *run*, so even
+  ``--write-baseline`` cannot retire them.
 """
 from __future__ import annotations
 
@@ -58,6 +64,39 @@ def baseline_payload(result: ShootoutResult) -> dict:
         "recovered": {row.defense: dict(row.recovered)
                       for row in result.rows},
     }
+
+
+#: Defenses whose V4 leak is a *documented* blind spot: the cell must
+#: keep leaking (tests/test_attacks.py pins the same fact end-to-end).
+BLIND_SPOT_DEFENSES = ("delay_on_miss", "eager_delay")
+#: The store-set closure: zero leaks everywhere, by construction.
+CLOSURE_DEFENSE = "delay_on_miss_ss"
+
+
+def check_pinned(result: ShootoutResult) -> list:
+    """Baseline-independent pins on the V4 blind spot and its closure."""
+    problems = []
+    rows = {row.defense: row for row in result.rows}
+    for name in BLIND_SPOT_DEFENSES:
+        row = rows.get(name)
+        if row is None:
+            continue  # reported by check() already
+        if row.recovered.get("v4", 0) < row.trials.get("v4", 0):
+            problems.append(
+                f"{name}: the pinned V4 blind-spot leak disappeared "
+                f"({row.recovered.get('v4', 0)}/{row.trials.get('v4', 0)} "
+                f"recovered) — if the defense really grew store "
+                f"coverage, update docs/defenses.md and the pinned "
+                f"tests, not just this baseline")
+    closure = rows.get(CLOSURE_DEFENSE)
+    if closure is not None:
+        for attack, n in closure.trials.items():
+            got = closure.recovered.get(attack, 0)
+            if got:
+                problems.append(
+                    f"{CLOSURE_DEFENSE}: must block every attack but "
+                    f"recovered {got}/{n} on {attack}")
+    return problems
 
 
 def check(result: ShootoutResult, baseline: dict) -> list:
@@ -124,6 +163,13 @@ def main(argv=None) -> int:
         with open(args.out, "w") as handle:
             json.dump(result.to_dict(), handle, indent=2)
             handle.write("\n")
+
+    pinned_problems = check_pinned(result)
+    if pinned_problems:
+        print("\nshootout pinned cells FAILED:", file=sys.stderr)
+        for problem in pinned_problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
 
     if args.write_baseline:
         with open(args.baseline, "w") as handle:
